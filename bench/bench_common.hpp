@@ -1,0 +1,64 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary prints a header naming the paper figure it regenerates,
+// the paper's qualitative expectation, and then the measured rows. Set
+// PMSB_BENCH_SCALE=full for paper-scale runs (default "quick" keeps each
+// binary in the seconds-to-a-minute range).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiments/dumbbell.hpp"
+#include "experiments/presets.hpp"
+#include "sim/units.hpp"
+#include "stats/table.hpp"
+
+namespace pmsb::bench {
+
+inline bool full_scale() {
+  const char* v = std::getenv("PMSB_BENCH_SCALE");
+  return v != nullptr && std::strcmp(v, "full") == 0;
+}
+
+/// Picks a size parameter by scale mode.
+inline std::size_t scaled(std::size_t quick, std::size_t full) {
+  return full_scale() ? full : quick;
+}
+
+inline void print_header(const char* figure, const char* setup,
+                         const char* expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("  setup:  %s\n", setup);
+  std::printf("  paper:  %s\n", expectation);
+  std::printf("  scale:  %s\n", full_scale() ? "full" : "quick");
+  std::printf("==============================================================\n");
+}
+
+/// Measures per-queue service rates over [warmup, end] on a dumbbell.
+struct QueueRates {
+  std::vector<double> gbps;
+  double total = 0.0;
+};
+
+inline QueueRates measure_queue_rates(experiments::DumbbellScenario& sc,
+                                      std::size_t num_queues, sim::TimeNs warmup,
+                                      sim::TimeNs end) {
+  sc.run(warmup);
+  std::vector<std::uint64_t> start(num_queues);
+  for (std::size_t q = 0; q < num_queues; ++q) start[q] = sc.served_bytes(q);
+  sc.run(end);
+  QueueRates out;
+  const double dt = static_cast<double>(end - warmup);
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    const double gbps = static_cast<double>(sc.served_bytes(q) - start[q]) * 8.0 / dt;
+    out.gbps.push_back(gbps);
+    out.total += gbps;
+  }
+  return out;
+}
+
+}  // namespace pmsb::bench

@@ -1,0 +1,57 @@
+// Figure 4: DCTCP buffer occupancy with enqueue vs dequeue marking.
+//
+// 4 flows into one queue at 1 Gbps, K = 16 packets. Marking at dequeue
+// delivers the congestion signal before the marked packet's queueing delay,
+// so the slow-start peak drops (paper: 87 pkts -> ~25% lower).
+#include "bench_common.hpp"
+#include "stats/queue_trace.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+namespace {
+struct TraceResult {
+  double peak_pkts;
+  double steady_mean_pkts;
+};
+
+TraceResult run_trace(ecn::MarkPoint point) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 4;
+  cfg.link_rate = sim::gbps(1);
+  cfg.scheduler.kind = sched::SchedulerKind::kFifo;
+  cfg.scheduler.num_queues = 1;
+  cfg.marking.kind = ecn::MarkingKind::kPerQueueStandard;
+  cfg.marking.threshold_bytes = 16 * 1500;
+  cfg.marking.point = point;
+  DumbbellScenario sc(cfg);
+  stats::QueueTracer tracer(
+      sc.simulator(), [&sc] { return sc.bottleneck().buffered_bytes(); },
+      sim::microseconds(2));
+  for (std::size_t i = 0; i < 4; ++i) {
+    sc.add_flow({.sender = i, .service = 0, .bytes = 0, .start = 0});
+  }
+  sc.run(sim::milliseconds(bench::scaled(30, 100)));
+  return {tracer.peak_bytes() / 1500.0,
+          tracer.mean_bytes(sim::milliseconds(10), sim::kTimeNever) / 1500.0};
+}
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 4 — DCTCP enqueue vs dequeue marking, buffer occupancy",
+      "4 flows, 1 queue, 1G, K=16 pkts",
+      "dequeue marking lowers the slow-start peak by ~25%");
+
+  const auto enq = run_trace(ecn::MarkPoint::kEnqueue);
+  const auto deq = run_trace(ecn::MarkPoint::kDequeue);
+  stats::Table table({"mark point", "peak(pkts)", "steady_mean(pkts)"});
+  table.add_row({"enqueue", stats::Table::num(enq.peak_pkts, 1),
+                 stats::Table::num(enq.steady_mean_pkts, 1)});
+  table.add_row({"dequeue", stats::Table::num(deq.peak_pkts, 1),
+                 stats::Table::num(deq.steady_mean_pkts, 1)});
+  table.print();
+  std::printf("peak reduction with dequeue marking: %.1f%%\n",
+              (enq.peak_pkts - deq.peak_pkts) / enq.peak_pkts * 100.0);
+  return 0;
+}

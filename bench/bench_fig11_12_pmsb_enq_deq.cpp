@@ -1,0 +1,69 @@
+// Figures 11 & 12: PMSB and PMSB(e) deliver congestion information early.
+//
+// 4 flows into one queue at 10 Gbps, port threshold 12 packets. Marking at
+// dequeue reduces the slow-start buffer peak by ~20% versus enqueue marking
+// (paper: 82 pkts -> ~20% lower), for both the switch (PMSB) and end-host
+// (PMSB(e)) variants.
+#include "bench_common.hpp"
+#include "stats/queue_trace.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+namespace {
+double run_peak(Scheme scheme, ecn::MarkPoint point) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 4;
+  // Base RTT ~10.5 us against a 12-packet port threshold whose drain time
+  // is 14.4 us: the queueing delay dominates the control loop, which is the
+  // regime where the mark point's feedback timing shows (as in the paper).
+  cfg.link_delay = sim::microseconds(2);
+  cfg.scheduler.kind = sched::SchedulerKind::kFifo;
+  cfg.scheduler.num_queues = 1;
+  SchemeParams params;
+  params.capacity = cfg.link_rate;
+  params.rtt = sim::microseconds_f(85.2);  // gives the paper's 12-pkt port K
+  params.weights = {1.0};
+  params.point = point;
+  cfg.marking = make_scheme_marking(scheme, params);
+  DumbbellScenario sc(cfg);
+  apply_scheme_transport(scheme, params, sc.base_rtt(), cfg.transport);
+  if (scheme == Scheme::kPmsbE) {
+    // The paper's Fig. 12 uses an RTT threshold of 14.4 us — just the drain
+    // time of the 12-packet port threshold, with no base-RTT allowance. All
+    // four flows share the congested queue, so nobody needs protecting and
+    // a tight threshold lets the dequeue-marking advantage show.
+    cfg.transport.pmsbe_rtt_threshold =
+        sim::serialization_delay(12 * 1500, cfg.link_rate);
+  }
+  stats::QueueTracer tracer(
+      sc.simulator(), [&sc] { return sc.bottleneck().buffered_bytes(); },
+      sim::microseconds(1));
+  for (std::size_t i = 0; i < 4; ++i) {
+    sc.add_flow({.sender = i, .service = 0, .bytes = 0, .start = 0,
+                 .pmsbe = cfg.transport.pmsbe_enabled,
+                 .pmsbe_rtt_threshold = cfg.transport.pmsbe_rtt_threshold});
+  }
+  sc.run(sim::milliseconds(bench::scaled(20, 100)));
+  return tracer.peak_bytes() / 1500.0;
+}
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figures 11 & 12 — PMSB / PMSB(e) buffer occupancy, enqueue vs dequeue",
+      "4 flows, 1 queue, 10G, port K=12 pkts",
+      "dequeue marking lowers the slow-start peak by ~20% for both variants");
+
+  stats::Table table({"scheme", "mark point", "peak(pkts)", "reduction(%)"});
+  for (Scheme scheme : {Scheme::kPmsb, Scheme::kPmsbE}) {
+    const double enq = run_peak(scheme, ecn::MarkPoint::kEnqueue);
+    const double deq = run_peak(scheme, ecn::MarkPoint::kDequeue);
+    const std::string name = scheme_name(scheme);
+    table.add_row({name, "enqueue", stats::Table::num(enq, 1), "0.0"});
+    table.add_row({name, "dequeue", stats::Table::num(deq, 1),
+                   stats::Table::num((enq - deq) / enq * 100.0, 1)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 15: PMSB over WFQ (the generic scheduler MQ-ECN cannot drive).
+//
+// Queue 1 starts with one greedy flow and owns the full 10G; when queue 2's
+// four flows join, both queues must converge to 5 Gbps each.
+#include "bench_common.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+int main() {
+  bench::print_header(
+      "Figure 15 — PMSB over WFQ (2 equal-weight queues)",
+      "q1: 1 flow @0ms; q2: 4 flows @20ms; 10G, port K=12 pkts",
+      "q1 holds 10G alone, then both queues converge to 5 Gbps");
+
+  DumbbellConfig cfg;
+  cfg.num_senders = 5;
+  cfg.scheduler.kind = sched::SchedulerKind::kWfq;
+  cfg.scheduler.num_queues = 2;
+  cfg.scheduler.weights = {1.0, 1.0};
+  cfg.marking.kind = ecn::MarkingKind::kPmsb;
+  cfg.marking.threshold_bytes = 12 * 1500;
+  cfg.marking.weights = cfg.scheduler.weights;
+  DumbbellScenario sc(cfg);
+
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0});
+  for (std::size_t i = 1; i <= 4; ++i) {
+    sc.add_flow({.sender = i, .service = 1, .bytes = 0, .start = sim::milliseconds(20)});
+  }
+
+  stats::Table series({"t(ms)", "q1(Gbps)", "q2(Gbps)"});
+  sim::TimeNs prev_t = 0;
+  std::vector<std::uint64_t> prev(2, 0);
+  const sim::TimeNs end = sim::milliseconds(bench::scaled(60, 200));
+  for (sim::TimeNs t = sim::milliseconds(5); t <= end; t += sim::milliseconds(5)) {
+    sc.run(t);
+    std::vector<std::string> row = {stats::Table::num(sim::to_milliseconds(t), 0)};
+    const double dt = static_cast<double>(t - prev_t);
+    for (std::size_t q = 0; q < 2; ++q) {
+      const auto s = sc.served_bytes(q);
+      row.push_back(stats::Table::num(static_cast<double>(s - prev[q]) * 8.0 / dt));
+      prev[q] = s;
+    }
+    prev_t = t;
+    series.add_row(std::move(row));
+  }
+  series.print();
+  return 0;
+}

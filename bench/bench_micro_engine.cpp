@@ -1,0 +1,84 @@
+// Microbenchmarks for the simulation substrate: event-queue throughput and
+// scheduler enqueue/dequeue cost — the knobs that bound how large a paper
+// reproduction run can be.
+#include <benchmark/benchmark.h>
+
+#include "sched/dwrr.hpp"
+#include "sched/wfq.hpp"
+#include "sim/simulator.hpp"
+
+using namespace pmsb;
+
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fired = 0;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      sim.schedule_at((i * 7919) % 100000, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_EventCascade(benchmark::State& state) {
+  // Self-rescheduling chain — the transport timer pattern.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t depth = 0;
+    std::function<void()> chain = [&] {
+      if (++depth < 10000) sim.schedule_in(1, chain);
+    };
+    sim.schedule_at(0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventCascade);
+
+sched::Packet make_pkt() {
+  sched::Packet p;
+  p.size_bytes = 1500;
+  return p;
+}
+
+void BM_DwrrEnqueueDequeue(benchmark::State& state) {
+  sched::DwrrScheduler s(8, std::vector<double>(8, 1.0));
+  // Pre-fill so the scheduler stays busy.
+  for (int q = 0; q < 8; ++q) {
+    for (int i = 0; i < 16; ++i) s.enqueue(q, make_pkt());
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto out = s.dequeue(static_cast<sim::TimeNs>(i++));
+    s.enqueue(out->queue, make_pkt());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DwrrEnqueueDequeue);
+
+void BM_WfqEnqueueDequeue(benchmark::State& state) {
+  sched::WfqScheduler s(8, std::vector<double>(8, 1.0));
+  for (int q = 0; q < 8; ++q) {
+    for (int i = 0; i < 16; ++i) s.enqueue(q, make_pkt());
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto out = s.dequeue(static_cast<sim::TimeNs>(i++));
+    s.enqueue(out->queue, make_pkt());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WfqEnqueueDequeue);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Example: PMSB is scheduler-agnostic.
+//
+// The same PMSB-marked bottleneck is driven by five different scheduling
+// disciplines; for each we check that the discipline's own service policy
+// survives (shares for the weighted ones, priority order for SP) while the
+// port stays fully utilised. MQ-ECN could only run on the first two rows.
+#include <cstdio>
+
+#include "experiments/dumbbell.hpp"
+#include "stats/table.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+namespace {
+
+// 3 queues with weights 1:2:1 (SP ignores weights; SP+WFQ puts queue 0
+// strictly above a 2:1 WFQ pair). Each queue carries two greedy flows.
+void run_discipline(sched::SchedulerKind kind, stats::Table& table) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 6;
+  cfg.scheduler.kind = kind;
+  cfg.scheduler.num_queues = 3;
+  cfg.scheduler.weights = {1.0, 2.0, 1.0};
+  if (kind == sched::SchedulerKind::kSpWfq) cfg.scheduler.priority_group = {0, 1, 1};
+  cfg.marking.kind = ecn::MarkingKind::kPmsb;
+  cfg.marking.threshold_bytes = 12 * 1500;
+  cfg.marking.weights = cfg.scheduler.weights;
+  DumbbellScenario sc(cfg);
+  for (std::size_t i = 0; i < 6; ++i) {
+    sc.add_flow({.sender = i, .service = static_cast<net::ServiceId>(i / 2),
+                 .bytes = 0, .start = 0});
+  }
+  sc.run(sim::milliseconds(10));
+  std::vector<std::uint64_t> s(3);
+  for (std::size_t q = 0; q < 3; ++q) s[q] = sc.served_bytes(q);
+  sc.run(sim::milliseconds(60));
+  const double dt = static_cast<double>(sim::milliseconds(50));
+  std::vector<std::string> row = {sched::scheduler_kind_name(kind)};
+  double total = 0;
+  for (std::size_t q = 0; q < 3; ++q) {
+    const double gbps = static_cast<double>(sc.served_bytes(q) - s[q]) * 8.0 / dt;
+    row.push_back(stats::Table::num(gbps));
+    total += gbps;
+  }
+  row.push_back(stats::Table::num(total));
+  table.add_row(std::move(row));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PMSB over five schedulers; 3 queues (weights 1:2:1), 2 greedy\n");
+  std::printf("flows per queue, 10G bottleneck, port K = 12 packets.\n");
+  std::printf("expected: WRR/DWRR/WFQ -> 2.5/5/2.5; SP -> 10/0/0 (strict);\n");
+  std::printf("SP+WFQ -> queue0 takes all it wants, rest split 2:1.\n\n");
+
+  stats::Table table({"scheduler", "q0(Gbps)", "q1(Gbps)", "q2(Gbps)", "total"});
+  for (auto kind : {sched::SchedulerKind::kWrr, sched::SchedulerKind::kDwrr,
+                    sched::SchedulerKind::kWfq, sched::SchedulerKind::kSp,
+                    sched::SchedulerKind::kSpWfq}) {
+    run_discipline(kind, table);
+  }
+  table.print();
+  std::printf("\n(MQ-ECN would be valid only on the WRR and DWRR rows —\n"
+              "PMSB needs no notion of rounds. Paper Table I / Figs. 13-15.)\n");
+  return 0;
+}

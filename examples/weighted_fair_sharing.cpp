@@ -1,0 +1,87 @@
+// Example: the victim-flow story of the paper, end to end.
+//
+// One flow in queue 1 competes with eight flows in queue 2 behind a 10G
+// port with two equal-weight DWRR queues. We run the same scenario under
+// four marking configurations and print who gets what:
+//   1. per-port marking        -> queue 1 is the victim (paper Fig. 3)
+//   2. PMSB (Algorithm 1)      -> fairness restored in the switch
+//   3. PMSB(e) (Algorithm 2)   -> fairness restored at the end hosts
+//   4. per-queue standard      -> fair but at twice the latency
+#include <cstdio>
+
+#include "experiments/dumbbell.hpp"
+#include "experiments/presets.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+namespace {
+
+struct Outcome {
+  double q1_share_pct;
+  double total_gbps;
+  double rtt_avg_us;  // of the queue-2 (bursty service) flows
+};
+
+Outcome run(Scheme scheme) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 9;
+  cfg.scheduler.kind = sched::SchedulerKind::kDwrr;
+  cfg.scheduler.num_queues = 2;
+  cfg.scheduler.weights = {1.0, 1.0};
+
+  SchemeParams params;
+  params.capacity = cfg.link_rate;
+  params.rtt = sim::microseconds(18);
+  params.weights = cfg.scheduler.weights;
+  cfg.marking = make_scheme_marking(scheme, params);
+
+  DumbbellScenario sc(cfg);
+  apply_scheme_transport(scheme, params, sc.base_rtt(), cfg.transport);
+
+  const bool pmsbe = cfg.transport.pmsbe_enabled;
+  const sim::TimeNs thr = cfg.transport.pmsbe_rtt_threshold;
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0,
+               .pmsbe = pmsbe, .pmsbe_rtt_threshold = thr});
+  stats::Summary rtt;
+  for (std::size_t i = 1; i <= 8; ++i) {
+    const auto idx = sc.add_flow({.sender = i, .service = 1, .bytes = 0, .start = 0,
+                                  .pmsbe = pmsbe, .pmsbe_rtt_threshold = thr});
+    sc.flow(idx).sender().set_rtt_observer([&rtt, &sc](sim::TimeNs t) {
+      if (sc.simulator().now() > sim::milliseconds(10)) {
+        rtt.add(sim::to_microseconds(t));
+      }
+    });
+  }
+
+  sc.run(sim::milliseconds(10));
+  const auto s0 = sc.served_bytes(0);
+  const auto s1 = sc.served_bytes(1);
+  sc.run(sim::milliseconds(60));
+  const double d0 = static_cast<double>(sc.served_bytes(0) - s0);
+  const double d1 = static_cast<double>(sc.served_bytes(1) - s1);
+  return {d0 / (d0 + d1) * 100.0,
+          (d0 + d1) * 8.0 / static_cast<double>(sim::milliseconds(50)), rtt.mean()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Victim-flow demo: 1 flow (queue 1) vs 8 flows (queue 2),\n");
+  std::printf("DWRR 1:1 on a 10G port. Fair outcome: 50%% / ~10G total.\n\n");
+
+  stats::Table table({"marking", "q1_share(%)", "total(Gbps)", "rtt_avg(us)"}, 16);
+  for (Scheme s : {Scheme::kPerPort, Scheme::kPmsb, Scheme::kPmsbE,
+                   Scheme::kPerQueueStd}) {
+    const auto o = run(s);
+    table.add_row({scheme_name(s), stats::Table::num(o.q1_share_pct, 1),
+                   stats::Table::num(o.total_gbps), stats::Table::num(o.rtt_avg_us, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nper-port violates the 50%% share; PMSB and PMSB(e) restore it while\n"
+      "keeping RTT well below the per-queue standard configuration.\n");
+  return 0;
+}

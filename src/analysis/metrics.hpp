@@ -1,0 +1,73 @@
+// Analysis metrics used by benches and tests to quantify what the paper
+// shows qualitatively: fairness of a share vector, link utilisation, and
+// time-to-convergence of a time series.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pmsb::analysis {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1], 1 = fair.
+[[nodiscard]] inline double jain_index(const std::vector<double>& allocations) {
+  if (allocations.empty()) throw std::invalid_argument("jain_index: empty");
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero allocation is (vacuously) fair
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+/// Weighted Jain index: normalises each allocation by its weight first, so
+/// a perfectly weighted-fair share scores 1.
+[[nodiscard]] inline double weighted_jain_index(const std::vector<double>& allocations,
+                                                const std::vector<double>& weights) {
+  if (allocations.size() != weights.size()) {
+    throw std::invalid_argument("weighted_jain_index: size mismatch");
+  }
+  std::vector<double> normalised;
+  normalised.reserve(allocations.size());
+  for (std::size_t i = 0; i < allocations.size(); ++i) {
+    if (weights[i] <= 0) throw std::invalid_argument("weights must be positive");
+    normalised.push_back(allocations[i] / weights[i]);
+  }
+  return jain_index(normalised);
+}
+
+struct TimePoint {
+  sim::TimeNs time = 0;
+  double value = 0.0;
+};
+
+/// First time after which the series stays within `tolerance` of `target`
+/// until the end. Returns kTimeNever if it never settles.
+[[nodiscard]] inline sim::TimeNs convergence_time(const std::vector<TimePoint>& series,
+                                                  double target, double tolerance) {
+  sim::TimeNs settled = sim::kTimeNever;
+  for (const auto& p : series) {
+    const bool within = std::abs(p.value - target) <= tolerance;
+    if (within && settled == sim::kTimeNever) {
+      settled = p.time;
+    } else if (!within) {
+      settled = sim::kTimeNever;
+    }
+  }
+  return settled;
+}
+
+/// Fraction of capacity used: bytes transferred over [t0, t1] at `rate_bps`.
+[[nodiscard]] inline double utilization(std::uint64_t bytes, sim::TimeNs t0,
+                                        sim::TimeNs t1, std::uint64_t rate_bps) {
+  if (t1 <= t0) throw std::invalid_argument("utilization: bad interval");
+  const double capacity_bytes =
+      static_cast<double>(rate_bps) / 8.0 * sim::to_seconds(t1 - t0);
+  return static_cast<double>(bytes) / capacity_bytes;
+}
+
+}  // namespace pmsb::analysis

@@ -1,0 +1,54 @@
+// The paper's two algorithms as pure, side-effect-free functions.
+//
+// Algorithm 1 (PMSB, switch side): mark a packet iff the port buffer exceeds
+// the per-port threshold AND the packet's queue exceeds its per-queue filter
+// threshold (Eq. 6). The second condition is the "selective blindness": a
+// packet from an un-congested queue is spared even though the port qualifies.
+//
+// Algorithm 2 (PMSB(e), end-host side): on receiving an ECN-marked ACK, the
+// sender ignores the mark if its current RTT is below the RTT threshold —
+// a small RTT proves the flow's own path is not congested, so the mark was
+// caused by other queues sharing the port.
+//
+// Keeping these as free functions makes the marking scheme and the transport
+// thin adapters and lets unit tests enumerate the full truth tables.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pmsb::core {
+
+/// Eq. 6: per-queue filter threshold, the queue's weight share of the port
+/// threshold. `filter_scale` (default 1.0) is an ablation knob: <1 makes the
+/// blindness more aggressive (more marks accepted, risking false positives),
+/// >1 more conservative (risking false negatives) — the trade-off of §III.
+[[nodiscard]] constexpr double pmsb_queue_threshold(double weight, double weight_sum,
+                                                    std::uint64_t port_threshold_bytes,
+                                                    double filter_scale = 1.0) {
+  return weight / weight_sum * static_cast<double>(port_threshold_bytes) * filter_scale;
+}
+
+/// Algorithm 1 (PMSB). Lengths and thresholds are in bytes.
+[[nodiscard]] constexpr bool pmsb_should_mark(std::uint64_t port_length,
+                                              std::uint64_t port_threshold,
+                                              std::uint64_t queue_length,
+                                              double weight, double weight_sum,
+                                              double filter_scale = 1.0) {
+  if (port_length < port_threshold) return false;  // lines 1-3
+  const double queue_threshold =
+      pmsb_queue_threshold(weight, weight_sum, port_threshold, filter_scale);  // line 4
+  return static_cast<double>(queue_length) >= queue_threshold;  // lines 5-9
+}
+
+/// Algorithm 2 (PMSB(e)). Returns true if the sender should IGNORE the
+/// congestion signal carried by the current ACK.
+[[nodiscard]] constexpr bool pmsbe_ignore_mark(bool is_mark, sim::TimeNs cur_rtt,
+                                               sim::TimeNs rtt_threshold) {
+  if (!is_mark) return true;                 // lines 1-3: nothing to react to
+  if (cur_rtt < rtt_threshold) return true;  // lines 4-6: selective blindness
+  return false;                              // lines 7-8: accept the back-off
+}
+
+}  // namespace pmsb::core

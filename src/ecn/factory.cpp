@@ -1,0 +1,120 @@
+#include "ecn/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "ecn/codel.hpp"
+#include "ecn/mq_ecn.hpp"
+#include "ecn/per_pool.hpp"
+#include "ecn/per_port.hpp"
+#include "ecn/per_queue.hpp"
+#include "ecn/pmsb_marking.hpp"
+#include "ecn/red.hpp"
+#include "ecn/tcn.hpp"
+
+namespace pmsb::ecn {
+
+std::string marking_kind_name(MarkingKind kind) {
+  switch (kind) {
+    case MarkingKind::kNone: return "None";
+    case MarkingKind::kPerQueueStandard: return "PerQueue-Std";
+    case MarkingKind::kPerQueueFractional: return "PerQueue-Frac";
+    case MarkingKind::kPerPort: return "PerPort";
+    case MarkingKind::kMqEcn: return "MQ-ECN";
+    case MarkingKind::kTcn: return "TCN";
+    case MarkingKind::kPmsb: return "PMSB";
+    case MarkingKind::kRed: return "RED";
+    case MarkingKind::kPerPool: return "PerPool";
+    case MarkingKind::kCodel: return "CoDel";
+  }
+  return "?";
+}
+
+MarkingKind parse_marking_kind(const std::string& name) {
+  std::string up(name.size(), '\0');
+  std::transform(name.begin(), name.end(), up.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  if (up == "NONE") return MarkingKind::kNone;
+  if (up == "PERQUEUE-STD" || up == "PERQUEUE") return MarkingKind::kPerQueueStandard;
+  if (up == "PERQUEUE-FRAC") return MarkingKind::kPerQueueFractional;
+  if (up == "PERPORT") return MarkingKind::kPerPort;
+  if (up == "MQ-ECN" || up == "MQECN") return MarkingKind::kMqEcn;
+  if (up == "TCN") return MarkingKind::kTcn;
+  if (up == "PMSB") return MarkingKind::kPmsb;
+  if (up == "RED") return MarkingKind::kRed;
+  if (up == "PERPOOL") return MarkingKind::kPerPool;
+  if (up == "CODEL") return MarkingKind::kCodel;
+  throw std::invalid_argument("unknown marking scheme: " + name);
+}
+
+MarkPoint effective_mark_point(const MarkingConfig& config) {
+  // Duration-based schemes can only judge a packet once its sojourn is
+  // known, i.e. at dequeue.
+  if (config.kind == MarkingKind::kTcn || config.kind == MarkingKind::kCodel) {
+    return MarkPoint::kDequeue;
+  }
+  return config.point;
+}
+
+std::unique_ptr<MarkingScheme> make_marking(const MarkingConfig& config) {
+  switch (config.kind) {
+    case MarkingKind::kNone:
+      return std::make_unique<NoMarking>();
+    case MarkingKind::kPerQueueStandard: {
+      const std::size_t n = std::max<std::size_t>(1, config.weights.size());
+      return std::make_unique<PerQueueMarking>(
+          PerQueueMarking::standard_thresholds(n, config.threshold_bytes));
+    }
+    case MarkingKind::kPerQueueFractional: {
+      if (config.weights.empty()) {
+        throw std::invalid_argument("PerQueue-Frac needs queue weights");
+      }
+      return std::make_unique<PerQueueMarking>(
+          PerQueueMarking::fractional_thresholds(config.weights, config.threshold_bytes));
+    }
+    case MarkingKind::kPerPort:
+      return std::make_unique<PerPortMarking>(config.threshold_bytes);
+    case MarkingKind::kMqEcn: {
+      if (config.weights.empty()) {
+        throw std::invalid_argument("MQ-ECN needs queue weights");
+      }
+      MqEcnConfig mc;
+      mc.quantum_bytes.reserve(config.weights.size());
+      for (double w : config.weights) mc.quantum_bytes.push_back(w * config.quantum_base);
+      mc.capacity = config.capacity;
+      mc.rtt = config.rtt;
+      mc.lambda = config.lambda;
+      mc.beta = config.beta;
+      mc.t_idle = sim::serialization_delay(config.quantum_base, config.capacity);
+      return std::make_unique<MqEcnMarking>(std::move(mc));
+    }
+    case MarkingKind::kTcn:
+      return std::make_unique<TcnMarking>(config.sojourn_threshold);
+    case MarkingKind::kPmsb:
+      return std::make_unique<PmsbMarking>(config.threshold_bytes, config.filter_scale);
+    case MarkingKind::kRed: {
+      RedConfig rc;
+      rc.min_threshold_bytes = config.threshold_bytes;
+      rc.max_threshold_bytes = config.red_max_threshold_bytes != 0
+                                   ? config.red_max_threshold_bytes
+                                   : config.threshold_bytes;
+      rc.max_probability = config.red_max_probability;
+      return std::make_unique<RedMarking>(rc);
+    }
+    case MarkingKind::kPerPool:
+      return std::make_unique<PerPoolMarking>(config.threshold_bytes);
+    case MarkingKind::kCodel: {
+      CodelConfig cc;
+      cc.target = config.codel_target != 0 ? config.codel_target
+                                           : config.sojourn_threshold / 4;
+      cc.interval = config.codel_interval != 0 ? config.codel_interval
+                                               : 10 * cc.target;
+      cc.num_queues = std::max<std::size_t>(1, config.weights.size());
+      return std::make_unique<CodelMarking>(cc);
+    }
+  }
+  throw std::invalid_argument("make_marking: bad kind");
+}
+
+}  // namespace pmsb::ecn

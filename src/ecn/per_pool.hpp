@@ -1,0 +1,33 @@
+// Per-service-pool ECN marking (§II.B).
+//
+// Marks when the SHARED buffer pool's occupancy exceeds the threshold.
+// Queues on *different* ports interfere through the pool, so this violates
+// weighted fair sharing even across ports — the paper's §II.B conjecture,
+// demonstrated by bench_pool_isolation.
+#pragma once
+
+#include "ecn/marking.hpp"
+
+namespace pmsb::ecn {
+
+class PerPoolMarking final : public MarkingScheme {
+ public:
+  explicit PerPoolMarking(std::uint64_t pool_threshold_bytes)
+      : threshold_(pool_threshold_bytes) {}
+
+  [[nodiscard]] bool should_mark(const PortSnapshot& snap, const Packet&, MarkPoint,
+                                 TimeNs) override {
+    // Without a pool this degenerates to per-port marking.
+    const std::uint64_t occupancy = snap.has_pool ? snap.pool_bytes : snap.port_bytes;
+    return occupancy >= threshold_;
+  }
+
+  [[nodiscard]] std::string name() const override { return "PerPool"; }
+  [[nodiscard]] bool requires_switch_modification() const override { return false; }
+  [[nodiscard]] std::uint64_t threshold() const { return threshold_; }
+
+ private:
+  std::uint64_t threshold_;
+};
+
+}  // namespace pmsb::ecn

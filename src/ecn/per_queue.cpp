@@ -1,0 +1,20 @@
+#include "ecn/per_queue.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace pmsb::ecn {
+
+std::vector<std::uint64_t> PerQueueMarking::fractional_thresholds(
+    const std::vector<double>& weights, std::uint64_t k_bytes) {
+  const double weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<std::uint64_t> thresholds;
+  thresholds.reserve(weights.size());
+  for (double w : weights) {
+    thresholds.push_back(static_cast<std::uint64_t>(
+        std::llround(w / weight_sum * static_cast<double>(k_bytes))));
+  }
+  return thresholds;
+}
+
+}  // namespace pmsb::ecn

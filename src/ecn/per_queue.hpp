@@ -1,0 +1,46 @@
+// Per-queue ECN marking (§II.B of the paper).
+//
+// Each queue has an independent threshold. Two standard configurations:
+//  - "standard": every queue gets K = C*RTT*lambda. High throughput, but
+//    latency grows with the number of active queues (paper Fig. 1).
+//  - "fractional": K_i = w_i/sum(w) * K. Low latency, but throughput loss
+//    when few queues are active (paper Fig. 2).
+#pragma once
+
+#include <vector>
+
+#include "ecn/marking.hpp"
+#include "sim/units.hpp"
+
+namespace pmsb::ecn {
+
+class PerQueueMarking final : public MarkingScheme {
+ public:
+  /// `thresholds_bytes[q]` is queue q's marking threshold.
+  explicit PerQueueMarking(std::vector<std::uint64_t> thresholds_bytes)
+      : thresholds_(std::move(thresholds_bytes)) {}
+
+  /// Standard configuration: all queues share the same threshold.
+  static std::vector<std::uint64_t> standard_thresholds(std::size_t num_queues,
+                                                        std::uint64_t k_bytes) {
+    return std::vector<std::uint64_t>(num_queues, k_bytes);
+  }
+
+  /// Fractional configuration (Eq. 2): split `k_bytes` by weight.
+  static std::vector<std::uint64_t> fractional_thresholds(
+      const std::vector<double>& weights, std::uint64_t k_bytes);
+
+  [[nodiscard]] bool should_mark(const PortSnapshot& snap, const Packet&, MarkPoint,
+                                 TimeNs) override {
+    return snap.queue_bytes >= thresholds_.at(snap.queue);
+  }
+
+  [[nodiscard]] std::string name() const override { return "PerQueue"; }
+
+  [[nodiscard]] std::uint64_t threshold(std::size_t q) const { return thresholds_.at(q); }
+
+ private:
+  std::vector<std::uint64_t> thresholds_;
+};
+
+}  // namespace pmsb::ecn

@@ -1,0 +1,36 @@
+// PMSB switch-side marking (Algorithm 1 of the paper).
+//
+// Mark iff (1) port occupancy >= port threshold AND (2) the packet's queue
+// occupancy >= its weight share of the port threshold (Eq. 6). The thin
+// adapter delegates to the pure functions in core/pmsb_algorithm.hpp.
+#pragma once
+
+#include "core/pmsb_algorithm.hpp"
+#include "ecn/marking.hpp"
+
+namespace pmsb::ecn {
+
+class PmsbMarking final : public MarkingScheme {
+ public:
+  /// `filter_scale` scales the per-queue filter threshold (1.0 = Eq. 6
+  /// verbatim); exposed for the aggressiveness ablation of §III.
+  explicit PmsbMarking(std::uint64_t port_threshold_bytes, double filter_scale = 1.0)
+      : port_threshold_(port_threshold_bytes), filter_scale_(filter_scale) {}
+
+  [[nodiscard]] bool should_mark(const PortSnapshot& snap, const Packet&, MarkPoint,
+                                 TimeNs) override {
+    return core::pmsb_should_mark(snap.port_bytes, port_threshold_, snap.queue_bytes,
+                                  snap.weight, snap.weight_sum, filter_scale_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "PMSB"; }
+
+  [[nodiscard]] std::uint64_t port_threshold() const { return port_threshold_; }
+  [[nodiscard]] double filter_scale() const { return filter_scale_; }
+
+ private:
+  std::uint64_t port_threshold_;
+  double filter_scale_;
+};
+
+}  // namespace pmsb::ecn

@@ -1,0 +1,76 @@
+// RED marking (Floyd & Jacobson 1993) — the scheme DCTCP's "special
+// parameter setting" (§II.A of the PMSB paper) degenerates from.
+//
+// Probability ramps linearly from 0 at min_th to max_p at max_th against
+// the (typically EWMA-averaged) queue occupancy in the snapshot; above
+// max_th every packet is marked. The classic inter-mark `count` correction
+// spreads marks evenly. DCTCP's setting is min_th == max_th == K with
+// max_p = 1, which this class also supports.
+#pragma once
+
+#include <cstdint>
+
+#include "ecn/marking.hpp"
+
+namespace pmsb::ecn {
+
+struct RedConfig {
+  std::uint64_t min_threshold_bytes = 0;
+  std::uint64_t max_threshold_bytes = 0;
+  double max_probability = 1.0;
+  std::uint64_t prng_seed = 0x9e3779b97f4a7c15ull;  ///< deterministic runs
+};
+
+class RedMarking final : public MarkingScheme {
+ public:
+  explicit RedMarking(RedConfig config) : cfg_(config), state_(config.prng_seed) {
+    if (cfg_.max_threshold_bytes < cfg_.min_threshold_bytes) {
+      throw std::invalid_argument("RED: max_threshold < min_threshold");
+    }
+  }
+
+  [[nodiscard]] bool should_mark(const PortSnapshot& snap, const Packet&, MarkPoint,
+                                 TimeNs) override {
+    const std::uint64_t q = snap.queue_bytes;
+    if (q < cfg_.min_threshold_bytes) {
+      count_ = -1;
+      return false;
+    }
+    if (q >= cfg_.max_threshold_bytes) {
+      count_ = 0;
+      return true;
+    }
+    ++count_;
+    const double span = static_cast<double>(cfg_.max_threshold_bytes -
+                                            cfg_.min_threshold_bytes);
+    const double pb = cfg_.max_probability *
+                      static_cast<double>(q - cfg_.min_threshold_bytes) / span;
+    // Floyd's uniformisation: p_a = p_b / (1 - count * p_b).
+    const double denom = 1.0 - static_cast<double>(count_) * pb;
+    const double pa = denom <= 0.0 ? 1.0 : pb / denom;
+    if (next_uniform() < pa) {
+      count_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string name() const override { return "RED"; }
+  [[nodiscard]] bool requires_switch_modification() const override { return false; }
+
+ private:
+  /// xorshift64* — tiny deterministic PRNG, no <random> state to drag in.
+  double next_uniform() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t x = state_ * 0x2545F4914F6CDD1Dull;
+    return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  RedConfig cfg_;
+  std::uint64_t state_;
+  std::int64_t count_ = -1;
+};
+
+}  // namespace pmsb::ecn

@@ -1,0 +1,33 @@
+// TCN marking (Bai et al., CoNEXT 2016; paper §II.C Eq. 4).
+//
+// A packet is marked at DEQUEUE time if its sojourn time in the switch
+// exceeds T_k = RTT * lambda. Duration-based by construction: congestion is
+// only observed after a packet has experienced it, so TCN cannot deliver
+// congestion information early (paper Fig. 5 / Table I).
+#pragma once
+
+#include "ecn/marking.hpp"
+
+namespace pmsb::ecn {
+
+class TcnMarking final : public MarkingScheme {
+ public:
+  explicit TcnMarking(TimeNs sojourn_threshold) : threshold_(sojourn_threshold) {}
+
+  [[nodiscard]] bool should_mark(const PortSnapshot&, const Packet& pkt, MarkPoint point,
+                                 TimeNs now) override {
+    if (point != MarkPoint::kDequeue) return false;  // sojourn unknown before dequeue
+    return now - pkt.enqueue_time > threshold_;
+  }
+
+  [[nodiscard]] std::string name() const override { return "TCN"; }
+
+  [[nodiscard]] bool early_notification() const override { return false; }
+
+  [[nodiscard]] TimeNs sojourn_threshold() const { return threshold_; }
+
+ private:
+  TimeNs threshold_;
+};
+
+}  // namespace pmsb::ecn

@@ -1,0 +1,85 @@
+#include "experiments/dumbbell.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pmsb::experiments {
+
+DumbbellScenario::DumbbellScenario(const DumbbellConfig& config) : cfg_(config) {
+  if (cfg_.num_senders == 0) throw std::invalid_argument("dumbbell: need senders");
+
+  // Hosts: senders are 0..N-1, the receiver is host N.
+  for (std::size_t i = 0; i < cfg_.num_senders; ++i) {
+    senders_.push_back(std::make_unique<net::Host>(
+        sim_, static_cast<net::HostId>(i), "sender" + std::to_string(i)));
+  }
+  receiver_ = std::make_unique<net::Host>(
+      sim_, static_cast<net::HostId>(cfg_.num_senders), "receiver");
+
+  switch_ = std::make_unique<switchlib::Switch>(sim_, "switch");
+
+  // ACK-return / sender-facing ports: FIFO, no marking, ample buffer.
+  switchlib::PortConfig plain;
+  plain.scheduler.kind = sched::SchedulerKind::kFifo;
+  plain.scheduler.num_queues = 1;
+  plain.marking.kind = ecn::MarkingKind::kNone;
+  plain.buffer_bytes = 4096ull * 1500ull;
+
+  // Bottleneck port: the scheduler + marking under study.
+  switchlib::PortConfig bottleneck;
+  bottleneck.scheduler = cfg_.scheduler;
+  bottleneck.marking = cfg_.marking;
+  bottleneck.buffer_bytes = cfg_.buffer_bytes;
+
+  const sim::RateBps uplink_rate =
+      cfg_.sender_uplink_rate != 0 ? cfg_.sender_uplink_rate : cfg_.link_rate;
+  // Wire sender <-> switch links and sender-facing switch ports.
+  for (std::size_t i = 0; i < cfg_.num_senders; ++i) {
+    links_.push_back(std::make_unique<net::Link>(sim_, uplink_rate, cfg_.link_delay,
+                                                 switch_.get()));
+    senders_[i]->attach_uplink(links_.back().get());
+    links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
+                                                 senders_[i].get()));
+    const std::size_t port = switch_->add_port(links_.back().get(), plain);
+    switch_->routing().add_route(static_cast<net::HostId>(i), port);
+  }
+
+  // Receiver <-> switch.
+  links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
+                                               switch_.get()));
+  receiver_->attach_uplink(links_.back().get());
+  links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
+                                               receiver_.get()));
+  bottleneck_port_ = switch_->add_port(links_.back().get(), bottleneck);
+  switch_->routing().add_route(static_cast<net::HostId>(cfg_.num_senders),
+                               bottleneck_port_);
+}
+
+DumbbellScenario::~DumbbellScenario() = default;
+
+std::size_t DumbbellScenario::add_flow(const DumbbellFlowSpec& spec) {
+  if (spec.sender >= cfg_.num_senders) throw std::out_of_range("dumbbell: bad sender");
+  transport::DctcpConfig tc = cfg_.transport;
+  tc.max_rate = spec.max_rate;
+  if (spec.pmsbe) {
+    tc.pmsbe_enabled = true;
+    tc.pmsbe_rtt_threshold = spec.pmsbe_rtt_threshold;
+  }
+  auto flow = std::make_unique<transport::Flow>(sim_, *senders_[spec.sender], *receiver_,
+                                                next_flow_id_++, spec.service,
+                                                spec.bytes, tc);
+  flow->start(spec.start);
+  flows_.push_back(std::move(flow));
+  return flows_.size() - 1;
+}
+
+sim::TimeNs DumbbellScenario::base_rtt() const {
+  // Data: sender NIC serialize + 2 propagation hops + switch serialize;
+  // ACK: the same with a 40 B packet.
+  const sim::TimeNs data_ser =
+      sim::serialization_delay(sim::kDefaultMtuBytes, cfg_.link_rate);
+  const sim::TimeNs ack_ser = sim::serialization_delay(net::kAckBytes, cfg_.link_rate);
+  return 2 * data_ser + 2 * ack_ser + 4 * cfg_.link_delay;
+}
+
+}  // namespace pmsb::experiments

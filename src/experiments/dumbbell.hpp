@@ -1,0 +1,96 @@
+// Dumbbell scenario: N sender hosts and one receiver host around a single
+// switch; the switch->receiver port is the bottleneck under study.
+//
+// This is the topology of every static-flow experiment in the paper
+// (Figs. 1-15): senders are classified into the bottleneck port's queues by
+// their flow's service tag, and the port runs the scheduler + marking scheme
+// being evaluated. All other ports (ACK return paths) are plain FIFO with
+// marking disabled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ecn/factory.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+#include "stats/summary.hpp"
+#include "switchlib/switch.hpp"
+#include "transport/dctcp.hpp"
+
+namespace pmsb::experiments {
+
+struct DumbbellConfig {
+  std::size_t num_senders = 2;
+  sim::RateBps link_rate = sim::gbps(10);
+  /// Rate of the sender->switch links; 0 means same as link_rate. Raising
+  /// it makes the switch egress the unambiguous bottleneck even for a
+  /// single flow (needed for the paper's Fig. 2 single-flow experiment).
+  sim::RateBps sender_uplink_rate = 0;
+  sim::TimeNs link_delay = sim::microseconds(2);  ///< one-way, per link
+  sched::SchedulerConfig scheduler;               ///< bottleneck port
+  ecn::MarkingConfig marking;                     ///< bottleneck port
+  std::uint64_t buffer_bytes = 1024ull * 1500ull; ///< bottleneck port buffer
+  transport::DctcpConfig transport;               ///< default per-flow config
+};
+
+struct DumbbellFlowSpec {
+  std::size_t sender = 0;            ///< sender host index [0, num_senders)
+  net::ServiceId service = 0;        ///< classifies into a bottleneck queue
+  std::uint64_t bytes = 0;           ///< 0 = long-lived
+  sim::TimeNs start = 0;
+  sim::RateBps max_rate = 0;         ///< 0 = unlimited
+  bool pmsbe = false;                ///< enable Algorithm 2 at this sender
+  sim::TimeNs pmsbe_rtt_threshold = 0;
+};
+
+class DumbbellScenario {
+ public:
+  explicit DumbbellScenario(const DumbbellConfig& config);
+  ~DumbbellScenario();
+  DumbbellScenario(const DumbbellScenario&) = delete;
+  DumbbellScenario& operator=(const DumbbellScenario&) = delete;
+
+  /// Creates a DCTCP flow per the spec; returns its index.
+  std::size_t add_flow(const DumbbellFlowSpec& spec);
+
+  void run(sim::TimeNs until) { sim_.run(until); }
+
+  // --- Access for measurements ---
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] switchlib::Port& bottleneck() { return switch_->port(bottleneck_port_); }
+  [[nodiscard]] switchlib::Switch& fabric() { return *switch_; }
+  [[nodiscard]] transport::Flow& flow(std::size_t idx) { return *flows_.at(idx); }
+  [[nodiscard]] std::size_t num_flows() const { return flows_.size(); }
+  [[nodiscard]] net::Host& sender(std::size_t idx) { return *senders_.at(idx); }
+  [[nodiscard]] net::Host& receiver() { return *receiver_; }
+
+  /// Monotone count of bytes the bottleneck has served from queue q.
+  /// `run(until)` can be called repeatedly, so a rate over [t1, t2] is
+  /// measured as: run(t1); s1 = served_bytes(q); run(t2); rate = delta/dt.
+  [[nodiscard]] std::uint64_t served_bytes(std::size_t q) const {
+    return switch_->port(bottleneck_port_).scheduler().served_bytes(q);
+  }
+
+  /// The un-loaded round-trip time sender -> receiver -> sender.
+  [[nodiscard]] sim::TimeNs base_rtt() const;
+
+  [[nodiscard]] const DumbbellConfig& config() const { return cfg_; }
+
+ private:
+  DumbbellConfig cfg_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<net::Host>> senders_;
+  std::unique_ptr<net::Host> receiver_;
+  std::unique_ptr<switchlib::Switch> switch_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<transport::Flow>> flows_;
+  std::size_t bottleneck_port_ = 0;
+  net::FlowId next_flow_id_ = 1;
+};
+
+}  // namespace pmsb::experiments

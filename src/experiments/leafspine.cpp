@@ -1,0 +1,128 @@
+#include "experiments/leafspine.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pmsb::experiments {
+
+LeafSpineScenario::LeafSpineScenario(const LeafSpineConfig& config) : cfg_(config) {
+  const std::size_t n_hosts = num_hosts();
+  if (n_hosts < 2) throw std::invalid_argument("leafspine: need >= 2 hosts");
+
+  for (std::size_t h = 0; h < n_hosts; ++h) {
+    hosts_.push_back(std::make_unique<net::Host>(sim_, static_cast<net::HostId>(h),
+                                                 "h" + std::to_string(h)));
+  }
+  for (std::size_t l = 0; l < cfg_.num_leaves; ++l) {
+    leaves_.push_back(
+        std::make_unique<switchlib::Switch>(sim_, "leaf" + std::to_string(l),
+                                            /*ecmp_salt=*/0x1000 + l));
+  }
+  for (std::size_t s = 0; s < cfg_.num_spines; ++s) {
+    spines_.push_back(
+        std::make_unique<switchlib::Switch>(sim_, "spine" + std::to_string(s),
+                                            /*ecmp_salt=*/0x2000 + s));
+  }
+
+  switchlib::PortConfig port_cfg;
+  port_cfg.scheduler = cfg_.scheduler;
+  port_cfg.marking = cfg_.marking;
+  port_cfg.buffer_bytes = cfg_.buffer_bytes;
+
+  // Host <-> leaf wiring.
+  for (std::size_t h = 0; h < n_hosts; ++h) {
+    const std::size_t l = leaf_of(h);
+    links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
+                                                 leaves_[l].get()));
+    hosts_[h]->attach_uplink(links_.back().get());
+    links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
+                                                 hosts_[h].get()));
+    const std::size_t port = leaves_[l]->add_port(links_.back().get(), port_cfg);
+    leaves_[l]->routing().add_route(static_cast<net::HostId>(h), port);
+  }
+
+  // Leaf <-> spine wiring and routing.
+  const sim::RateBps core_rate = cfg_.core_rate != 0 ? cfg_.core_rate : cfg_.link_rate;
+  for (std::size_t l = 0; l < cfg_.num_leaves; ++l) {
+    for (std::size_t s = 0; s < cfg_.num_spines; ++s) {
+      // Uplink leaf -> spine.
+      links_.push_back(std::make_unique<net::Link>(sim_, core_rate, cfg_.link_delay,
+                                                   spines_[s].get()));
+      const std::size_t up = leaves_[l]->add_port(links_.back().get(), port_cfg);
+      // Downlink spine -> leaf.
+      links_.push_back(std::make_unique<net::Link>(sim_, core_rate, cfg_.link_delay,
+                                                   leaves_[l].get()));
+      const std::size_t down = spines_[s]->add_port(links_.back().get(), port_cfg);
+
+      for (std::size_t h = 0; h < n_hosts; ++h) {
+        if (leaf_of(h) != l) {
+          // Remote hosts reachable from leaf l via any spine (ECMP set).
+          leaves_[l]->routing().add_route(static_cast<net::HostId>(h), up);
+        } else {
+          // Hosts under leaf l reachable from spine s via this downlink.
+          spines_[s]->routing().add_route(static_cast<net::HostId>(h), down);
+        }
+      }
+    }
+  }
+}
+
+LeafSpineScenario::~LeafSpineScenario() = default;
+
+void LeafSpineScenario::add_workload(const std::vector<workload::FlowSpec>& specs) {
+  for (const auto& spec : specs) {
+    auto flow = std::make_unique<transport::Flow>(
+        sim_, *hosts_.at(spec.src), *hosts_.at(spec.dst), next_flow_id_++, spec.service,
+        spec.bytes, cfg_.transport);
+    transport::DctcpSender& sender = flow->sender();
+    sender.set_completion_callback(
+        [this, s = &sender, bytes = spec.bytes, service = spec.service](sim::TimeNs fct) {
+          fct_.record({s->flow_id(), bytes, s->start_time(), fct, service});
+          ++completed_;
+          if (completed_ == flows_.size()) sim_.stop();
+        });
+    flow->start(spec.start);
+    flows_.push_back(std::move(flow));
+  }
+}
+
+bool LeafSpineScenario::run_until_complete(sim::TimeNs max_time) {
+  sim_.run(max_time);
+  return completed_ == flows_.size();
+}
+
+std::uint64_t LeafSpineScenario::total_marks() const {
+  std::uint64_t marks = 0;
+  auto add = [&marks](const switchlib::Switch& sw) {
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      marks += sw.port(p).stats().marked_enqueue + sw.port(p).stats().marked_dequeue;
+    }
+  };
+  for (const auto& l : leaves_) add(*l);
+  for (const auto& s : spines_) add(*s);
+  return marks;
+}
+
+std::uint64_t LeafSpineScenario::total_drops() const {
+  std::uint64_t drops = 0;
+  auto add = [&drops](const switchlib::Switch& sw) {
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      drops += sw.port(p).stats().dropped_packets;
+    }
+  };
+  for (const auto& l : leaves_) add(*l);
+  for (const auto& s : spines_) add(*s);
+  return drops;
+}
+
+sim::TimeNs LeafSpineScenario::base_rtt_interrack() const {
+  // Four links each way (host-leaf-spine-leaf-host); store-and-forward
+  // serialization of the data packet at each of the four transmitters, ACK
+  // serialization on the way back.
+  const sim::TimeNs data_ser =
+      sim::serialization_delay(sim::kDefaultMtuBytes, cfg_.link_rate);
+  const sim::TimeNs ack_ser = sim::serialization_delay(net::kAckBytes, cfg_.link_rate);
+  return 4 * data_ser + 4 * ack_ser + 8 * cfg_.link_delay;
+}
+
+}  // namespace pmsb::experiments

@@ -1,0 +1,92 @@
+// Leaf-spine fabric scenario for the large-scale FCT evaluation (§VI.B).
+//
+// Default shape matches the paper: 4 leaf and 4 spine switches, 12 hosts per
+// leaf (48 hosts), all links 10 Gbps, non-blocking, per-flow ECMP across the
+// spines. Every switch port runs the scheduler + marking scheme under test
+// with 8 service queues of equal weight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ecn/factory.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "stats/fct.hpp"
+#include "switchlib/switch.hpp"
+#include "transport/dctcp.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace pmsb::experiments {
+
+struct LeafSpineConfig {
+  std::size_t num_leaves = 4;
+  std::size_t num_spines = 4;
+  std::size_t hosts_per_leaf = 12;
+  sim::RateBps link_rate = sim::gbps(10);
+  /// Leaf<->spine link rate; 0 = same as link_rate (non-blocking, the
+  /// paper's fabric). Lower it for an oversubscribed core.
+  sim::RateBps core_rate = 0;
+  sim::TimeNs link_delay = sim::microseconds(2);  ///< one-way, per link
+  sched::SchedulerConfig scheduler;               ///< all switch ports
+  ecn::MarkingConfig marking;                     ///< all switch ports
+  std::uint64_t buffer_bytes = 1024ull * 1500ull; ///< per port
+  transport::DctcpConfig transport;
+};
+
+class LeafSpineScenario {
+ public:
+  explicit LeafSpineScenario(const LeafSpineConfig& config);
+  ~LeafSpineScenario();
+  LeafSpineScenario(const LeafSpineScenario&) = delete;
+  LeafSpineScenario& operator=(const LeafSpineScenario&) = delete;
+
+  [[nodiscard]] std::size_t num_hosts() const {
+    return cfg_.num_leaves * cfg_.hosts_per_leaf;
+  }
+
+  /// Instantiates one DCTCP flow per spec; completions land in fct().
+  void add_workload(const std::vector<workload::FlowSpec>& specs);
+
+  /// Runs until every workload flow completes, or `max_time` if sooner.
+  /// Returns true if all flows completed.
+  bool run_until_complete(sim::TimeNs max_time);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] stats::FctCollector& fct() { return fct_; }
+  [[nodiscard]] net::Host& host(std::size_t idx) { return *hosts_.at(idx); }
+  [[nodiscard]] switchlib::Switch& leaf(std::size_t idx) { return *leaves_.at(idx); }
+  [[nodiscard]] switchlib::Switch& spine(std::size_t idx) { return *spines_.at(idx); }
+  [[nodiscard]] std::size_t completed_flows() const { return completed_; }
+  [[nodiscard]] std::size_t total_flows() const { return flows_.size(); }
+
+  /// Aggregate CE marks applied across every switch port (both points).
+  [[nodiscard]] std::uint64_t total_marks() const;
+  /// Aggregate drop count across every switch port.
+  [[nodiscard]] std::uint64_t total_drops() const;
+
+  /// The un-loaded RTT between two hosts under different leaves.
+  [[nodiscard]] sim::TimeNs base_rtt_interrack() const;
+
+ private:
+  [[nodiscard]] std::size_t leaf_of(std::size_t host) const {
+    return host / cfg_.hosts_per_leaf;
+  }
+
+  LeafSpineConfig cfg_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<switchlib::Switch>> leaves_;
+  std::vector<std::unique_ptr<switchlib::Switch>> spines_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<transport::Flow>> flows_;
+  stats::FctCollector fct_;
+  std::size_t completed_ = 0;
+  net::FlowId next_flow_id_ = 1;
+};
+
+}  // namespace pmsb::experiments

@@ -1,0 +1,76 @@
+// Fault injection for tests and robustness experiments.
+//
+// A FaultInjector wraps any Node and perturbs the packet stream headed to
+// it: probabilistic or counted drops, fixed extra delay, and random jitter
+// (which reorders packets). Point a Link at the injector instead of the
+// real node to create a lossy / reordering path segment.
+#pragma once
+
+#include <cstdint>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace pmsb::net {
+
+class FaultInjector : public Node {
+ public:
+  FaultInjector(sim::Simulator& simulator, Node* inner,
+                std::uint64_t seed = 0x5eed)
+      : Node("fault(" + inner->name() + ")"), sim_(simulator), inner_(inner),
+        rng_(seed) {}
+
+  /// Drops each packet independently with probability `p`.
+  void set_drop_rate(double p) { drop_rate_ = p; }
+
+  /// Deterministically drops the next `n` packets (counted drops win over
+  /// the probabilistic setting).
+  void drop_next(std::uint64_t n) { drop_next_ += n; }
+
+  /// Adds `fixed` delay plus uniform jitter in [0, jitter) to every packet.
+  /// Jitter larger than a packet's serialization gap reorders the stream.
+  void set_extra_delay(sim::TimeNs fixed, sim::TimeNs jitter = 0) {
+    delay_fixed_ = fixed;
+    delay_jitter_ = jitter;
+  }
+
+  void receive(Packet pkt) override {
+    if (drop_next_ > 0) {
+      --drop_next_;
+      ++dropped_;
+      return;
+    }
+    if (drop_rate_ > 0.0 && rng_.uniform() < drop_rate_) {
+      ++dropped_;
+      return;
+    }
+    ++forwarded_;
+    if (delay_fixed_ == 0 && delay_jitter_ == 0) {
+      inner_->receive(std::move(pkt));
+      return;
+    }
+    sim::TimeNs delay = delay_fixed_;
+    if (delay_jitter_ > 0) delay += rng_.uniform_int(0, delay_jitter_ - 1);
+    Node* inner = inner_;
+    sim_.schedule_in(delay,
+                     [inner, p = std::move(pkt)]() mutable { inner->receive(std::move(p)); });
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  sim::Simulator& sim_;
+  Node* inner_;
+  sim::Rng rng_;
+  double drop_rate_ = 0.0;
+  std::uint64_t drop_next_ = 0;
+  sim::TimeNs delay_fixed_ = 0;
+  sim::TimeNs delay_jitter_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace pmsb::net

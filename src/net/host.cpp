@@ -1,0 +1,45 @@
+#include "net/host.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pmsb::net {
+
+void Host::send(Packet pkt) {
+  if (uplink_ == nullptr) {
+    throw std::logic_error("Host::send: no uplink attached to " + name());
+  }
+  pkt.sent_time = sim_.now();
+  nic_bytes_ += pkt.size_bytes;
+  nic_queue_.push_back(std::move(pkt));
+  try_transmit();
+}
+
+void Host::try_transmit() {
+  if (transmitting_ || nic_queue_.empty()) return;
+  transmitting_ = true;
+  Packet pkt = std::move(nic_queue_.front());
+  nic_queue_.pop_front();
+  nic_bytes_ -= pkt.size_bytes;
+  const TimeNs tx_done = uplink_->transmit(std::move(pkt));
+  sim_.schedule_at(tx_done, [this] {
+    transmitting_ = false;
+    try_transmit();
+  });
+}
+
+void Host::receive(Packet pkt) {
+  auto it = handlers_.find(pkt.flow_id);
+  if (it == handlers_.end()) {
+    ++no_handler_;
+    return;
+  }
+  ++delivered_;
+  // Copy the handler: the callback may unregister the flow (e.g. on FIN),
+  // which would invalidate the iterator mid-call.
+  PacketHandler handler = it->second;
+  handler(std::move(pkt));
+}
+
+}  // namespace pmsb::net

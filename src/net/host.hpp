@@ -1,0 +1,66 @@
+// End host: a NIC with a FIFO egress queue plus a demultiplexer that hands
+// arriving packets to the transport endpoint registered for their flow.
+//
+// The NIC egress queue is effectively unbounded — end-host memory is not the
+// bottleneck the paper studies — but its backlog is observable for tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace pmsb::net {
+
+class Host : public Node {
+ public:
+  using PacketHandler = std::function<void(Packet)>;
+
+  Host(sim::Simulator& simulator, HostId id, std::string name)
+      : Node(std::move(name)), sim_(simulator), id_(id) {}
+
+  /// Connects the host's single uplink (host -> ToR direction).
+  void attach_uplink(Link* link) { uplink_ = link; }
+
+  [[nodiscard]] HostId id() const { return id_; }
+  [[nodiscard]] Link* uplink() const { return uplink_; }
+
+  /// Queues a packet on the NIC for transmission, stamping `sent_time`.
+  void send(Packet pkt);
+
+  /// Registers the transport endpoint that consumes packets of `flow_id`
+  /// arriving at this host. Overwrites any previous registration.
+  void register_flow(FlowId flow_id, PacketHandler handler) {
+    handlers_[flow_id] = std::move(handler);
+  }
+
+  void unregister_flow(FlowId flow_id) { handlers_.erase(flow_id); }
+
+  /// Called by the attached link when a packet arrives from the network.
+  void receive(Packet pkt) override;
+
+  [[nodiscard]] std::size_t nic_backlog_packets() const { return nic_queue_.size(); }
+  [[nodiscard]] std::uint64_t nic_backlog_bytes() const { return nic_bytes_; }
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_no_handler() const { return no_handler_; }
+
+ private:
+  void try_transmit();
+
+  sim::Simulator& sim_;
+  HostId id_;
+  Link* uplink_ = nullptr;
+  std::deque<Packet> nic_queue_;
+  std::uint64_t nic_bytes_ = 0;
+  bool transmitting_ = false;
+  std::unordered_map<FlowId, PacketHandler> handlers_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t no_handler_ = 0;
+};
+
+}  // namespace pmsb::net

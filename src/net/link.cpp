@@ -1,0 +1,20 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pmsb::net {
+
+TimeNs Link::transmit(Packet pkt) {
+  assert(!busy() && "Link::transmit called while a packet is serializing");
+  const TimeNs tx_done = sim_.now() + sim::serialization_delay(pkt.size_bytes, rate_);
+  busy_until_ = tx_done;
+  bytes_sent_ += pkt.size_bytes;
+  ++packets_sent_;
+  Node* dst = dst_;
+  sim_.schedule_at(tx_done + delay_,
+                   [dst, p = std::move(pkt)]() mutable { dst->receive(std::move(p)); });
+  return tx_done;
+}
+
+}  // namespace pmsb::net

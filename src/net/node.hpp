@@ -1,0 +1,27 @@
+// Abstract network device. Hosts and switches implement `receive`, which a
+// Link invokes when a packet finishes propagation.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace pmsb::net {
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Delivers a packet that has fully arrived at this device.
+  virtual void receive(Packet pkt) = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace pmsb::net

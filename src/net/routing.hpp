@@ -1,0 +1,63 @@
+// Static destination-based routing with per-flow ECMP.
+//
+// Each switch holds a RoutingTable mapping destination host -> the set of
+// candidate egress ports. When the set has more than one entry the port is
+// picked by hashing the flow (src, dst, flow id), so all packets of a flow
+// follow one path — the standard datacenter ECMP behaviour the paper's
+// leaf-spine evaluation assumes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace pmsb::net {
+
+/// Deterministic flow hash used for ECMP path selection.
+inline std::uint64_t flow_hash(HostId src, HostId dst, FlowId flow, std::uint64_t salt) {
+  std::uint64_t h = salt ^ 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+  };
+  mix(src);
+  mix(dst);
+  mix(flow);
+  return h;
+}
+
+class RoutingTable {
+ public:
+  /// Adds `port` as a candidate egress for `dst`.
+  void add_route(HostId dst, std::size_t port) {
+    if (dst >= routes_.size()) routes_.resize(dst + 1);
+    routes_[dst].push_back(port);
+  }
+
+  /// Selects the egress port for `pkt`; throws if no route exists.
+  [[nodiscard]] std::size_t select_port(const Packet& pkt, std::uint64_t salt) const {
+    if (pkt.dst >= routes_.size() || routes_[pkt.dst].empty()) {
+      throw std::out_of_range("RoutingTable: no route to host " +
+                              std::to_string(pkt.dst));
+    }
+    const auto& candidates = routes_[pkt.dst];
+    if (candidates.size() == 1) return candidates[0];
+    return candidates[flow_hash(pkt.src, pkt.dst, pkt.flow_id, salt) % candidates.size()];
+  }
+
+  [[nodiscard]] bool has_route(HostId dst) const {
+    return dst < routes_.size() && !routes_[dst].empty();
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& candidates(HostId dst) const {
+    return routes_.at(dst);
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> routes_;
+};
+
+}  // namespace pmsb::net

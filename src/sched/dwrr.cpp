@@ -1,0 +1,39 @@
+#include "sched/dwrr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmsb::sched {
+
+DwrrScheduler::DwrrScheduler(std::size_t num_queues, std::vector<double> weights,
+                             std::uint32_t quantum_base)
+    : Scheduler(num_queues, std::move(weights)),
+      quantum_base_(quantum_base),
+      deficit_(num_queues, 0) {
+  if (quantum_base_ == 0) throw std::invalid_argument("DWRR: quantum_base must be > 0");
+}
+
+std::size_t DwrrScheduler::select_queue(TimeNs now) {
+  // With fractional weights a queue may need several rounds to accumulate a
+  // packet's worth of deficit; bound the spin generously.
+  const std::size_t max_visits = 64 * num_queues() + 64;
+  for (std::size_t visits = 0; visits < max_visits; ++visits) {
+    const std::size_t q = cursor_;
+    if (!quantum_added_this_visit_ && backlogged(q)) {
+      deficit_[q] += static_cast<std::int64_t>(std::llround(quantum(q)));
+      quantum_added_this_visit_ = true;
+    }
+    if (backlogged(q) &&
+        static_cast<std::int64_t>(head(q).size_bytes) <= deficit_[q]) {
+      deficit_[q] -= head(q).size_bytes;
+      return q;
+    }
+    if (!backlogged(q)) deficit_[q] = 0;  // forfeit on going idle
+    quantum_added_this_visit_ = false;
+    cursor_ = (cursor_ + 1) % num_queues();
+    if (cursor_ == 0) notify_round_complete(now);
+  }
+  throw std::logic_error("DwrrScheduler: no eligible queue after bounded spin");
+}
+
+}  // namespace pmsb::sched

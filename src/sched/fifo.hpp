@@ -1,0 +1,32 @@
+// Global-FIFO discipline: packets leave in arrival order regardless of which
+// queue classified them. Used for single-queue ports and host-side baselines.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace pmsb::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  explicit FifoScheduler(std::size_t num_queues = 1,
+                         std::vector<double> weights = {})
+      : Scheduler(num_queues, std::move(weights)) {}
+
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+
+ protected:
+  void on_enqueue(std::size_t q, const Packet&) override { arrival_order_.push_back(q); }
+
+  std::size_t select_queue(TimeNs) override {
+    const std::size_t q = arrival_order_.front();
+    arrival_order_.pop_front();
+    return q;
+  }
+
+ private:
+  std::deque<std::size_t> arrival_order_;
+};
+
+}  // namespace pmsb::sched

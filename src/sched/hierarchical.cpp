@@ -1,0 +1,62 @@
+#include "sched/hierarchical.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmsb::sched {
+
+SpWfqScheduler::SpWfqScheduler(std::size_t num_queues, std::vector<std::size_t> group,
+                               std::vector<double> weights)
+    : Scheduler(num_queues, std::move(weights)),
+      group_(std::move(group)),
+      finish_tags_(num_queues),
+      last_finish_(num_queues, 0.0) {
+  if (group_.size() != num_queues) {
+    throw std::invalid_argument("SpWfqScheduler: group count != queue count");
+  }
+  for (std::size_t g : group_) num_groups_ = std::max(num_groups_, g + 1);
+  vtime_.assign(num_groups_, 0.0);
+  group_backlog_.assign(num_groups_, 0);
+}
+
+void SpWfqScheduler::on_enqueue(std::size_t q, const Packet& pkt) {
+  const std::size_t g = group_[q];
+  const double start = std::max(vtime_[g], last_finish_[q]);
+  const double finish = start + static_cast<double>(pkt.size_bytes) / weight(q);
+  last_finish_[q] = finish;
+  finish_tags_[q].push_back(finish);
+  ++group_backlog_[g];
+}
+
+void SpWfqScheduler::on_dequeue(std::size_t q, const Packet&) {
+  const std::size_t g = group_[q];
+  vtime_[g] = finish_tags_[q].front();
+  finish_tags_[q].pop_front();
+  --group_backlog_[g];
+  if (group_backlog_[g] == 0) {
+    vtime_[g] = 0.0;
+    for (std::size_t i = 0; i < num_queues(); ++i) {
+      if (group_[i] == g) last_finish_[i] = 0.0;
+    }
+  }
+}
+
+std::size_t SpWfqScheduler::select_queue(TimeNs) {
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    if (group_backlog_[g] == 0) continue;
+    std::size_t best = num_queues();
+    double best_tag = 0.0;
+    for (std::size_t q = 0; q < num_queues(); ++q) {
+      if (group_[q] != g || !backlogged(q)) continue;
+      const double tag = finish_tags_[q].front();
+      if (best == num_queues() || tag < best_tag) {
+        best = q;
+        best_tag = tag;
+      }
+    }
+    if (best != num_queues()) return best;
+  }
+  throw std::logic_error("SpWfqScheduler: empty");
+}
+
+}  // namespace pmsb::sched

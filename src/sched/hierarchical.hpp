@@ -1,0 +1,40 @@
+// Hierarchical SP + WFQ.
+//
+// Queues are partitioned into strict-priority groups (lower group id =
+// higher priority). Within a group, SCFQ-style weighted fair queueing
+// applies. This reproduces the paper's SP+WFQ configuration (Fig. 13):
+// one strict-high queue over a WFQ pair. With every queue in its own group
+// it degenerates to SP; with all queues in one group it degenerates to WFQ.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace pmsb::sched {
+
+class SpWfqScheduler final : public Scheduler {
+ public:
+  /// `group[q]` is the strict-priority group of queue q (0 = highest).
+  SpWfqScheduler(std::size_t num_queues, std::vector<std::size_t> group,
+                 std::vector<double> weights = {});
+
+  [[nodiscard]] std::string name() const override { return "SP+WFQ"; }
+
+  [[nodiscard]] std::size_t group_of(std::size_t q) const { return group_.at(q); }
+
+ protected:
+  void on_enqueue(std::size_t q, const Packet& pkt) override;
+  void on_dequeue(std::size_t q, const Packet& pkt) override;
+  std::size_t select_queue(TimeNs now) override;
+
+ private:
+  std::vector<std::size_t> group_;
+  std::size_t num_groups_ = 0;
+  std::vector<std::deque<double>> finish_tags_;   // per queue
+  std::vector<double> last_finish_;               // per queue
+  std::vector<double> vtime_;                     // per group
+  std::vector<std::size_t> group_backlog_;        // packets per group
+};
+
+}  // namespace pmsb::sched

@@ -1,0 +1,25 @@
+// Strict Priority: queue 0 is the highest priority; a lower-index queue is
+// always served before any higher-index one.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace pmsb::sched {
+
+class SpScheduler final : public Scheduler {
+ public:
+  explicit SpScheduler(std::size_t num_queues, std::vector<double> weights = {})
+      : Scheduler(num_queues, std::move(weights)) {}
+
+  [[nodiscard]] std::string name() const override { return "SP"; }
+
+ protected:
+  std::size_t select_queue(TimeNs) override {
+    for (std::size_t q = 0; q < num_queues(); ++q) {
+      if (backlogged(q)) return q;
+    }
+    throw std::logic_error("SpScheduler: select_queue on empty scheduler");
+  }
+};
+
+}  // namespace pmsb::sched

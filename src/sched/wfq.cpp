@@ -1,0 +1,40 @@
+#include "sched/wfq.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmsb::sched {
+
+void WfqScheduler::on_enqueue(std::size_t q, const Packet& pkt) {
+  const double start = std::max(vtime_, last_finish_[q]);
+  const double finish = start + static_cast<double>(pkt.size_bytes) / weight(q);
+  last_finish_[q] = finish;
+  finish_tags_[q].push_back(finish);
+}
+
+void WfqScheduler::on_dequeue(std::size_t q, const Packet&) {
+  vtime_ = finish_tags_[q].front();
+  finish_tags_[q].pop_front();
+  if (total_packets() == 0) {
+    // Idle port: rebase virtual time so tags do not grow without bound.
+    vtime_ = 0.0;
+    std::fill(last_finish_.begin(), last_finish_.end(), 0.0);
+  }
+}
+
+std::size_t WfqScheduler::select_queue(TimeNs) {
+  std::size_t best = num_queues();
+  double best_tag = 0.0;
+  for (std::size_t q = 0; q < num_queues(); ++q) {
+    if (!backlogged(q)) continue;
+    const double tag = finish_tags_[q].front();
+    if (best == num_queues() || tag < best_tag) {
+      best = q;
+      best_tag = tag;
+    }
+  }
+  if (best == num_queues()) throw std::logic_error("WfqScheduler: empty");
+  return best;
+}
+
+}  // namespace pmsb::sched

@@ -1,0 +1,39 @@
+// Weighted Fair Queueing, implemented as Self-Clocked Fair Queueing (SCFQ).
+//
+// Each packet gets a finish tag F = max(V, F_prev_of_queue) + size/weight at
+// enqueue, where the virtual time V is the finish tag of the packet most
+// recently dequeued. Dequeue picks the backlogged queue whose head has the
+// smallest finish tag. SCFQ is the standard practical approximation of WFQ
+// used by switching chips; crucially it has no notion of a "round", which is
+// why MQ-ECN cannot drive it (paper Table I) but PMSB can.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace pmsb::sched {
+
+class WfqScheduler final : public Scheduler {
+ public:
+  explicit WfqScheduler(std::size_t num_queues, std::vector<double> weights = {})
+      : Scheduler(num_queues, std::move(weights)),
+        finish_tags_(num_queues),
+        last_finish_(num_queues, 0.0) {}
+
+  [[nodiscard]] std::string name() const override { return "WFQ"; }
+
+  [[nodiscard]] double virtual_time() const { return vtime_; }
+
+ protected:
+  void on_enqueue(std::size_t q, const Packet& pkt) override;
+  void on_dequeue(std::size_t q, const Packet& pkt) override;
+  std::size_t select_queue(TimeNs now) override;
+
+ private:
+  std::vector<std::deque<double>> finish_tags_;
+  std::vector<double> last_finish_;
+  double vtime_ = 0.0;
+};
+
+}  // namespace pmsb::sched

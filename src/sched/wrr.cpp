@@ -1,0 +1,31 @@
+#include "sched/wrr.hpp"
+
+namespace pmsb::sched {
+
+void WrrScheduler::start_round(TimeNs now) {
+  if (in_round_) notify_round_complete(now);
+  in_round_ = true;
+  cursor_ = 0;
+  for (std::size_t q = 0; q < num_queues(); ++q) {
+    credits_[q] = std::max(1, static_cast<int>(std::lround(weight(q))));
+  }
+}
+
+std::size_t WrrScheduler::select_queue(TimeNs now) {
+  if (!in_round_) start_round(now);
+  // Two sweeps are always enough: if the first sweep finds no queue with
+  // both backlog and credit, a new round refreshes every credit and the
+  // second sweep must succeed (the base class guarantees backlog exists).
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (; cursor_ < num_queues(); ++cursor_) {
+      if (backlogged(cursor_) && credits_[cursor_] > 0) {
+        --credits_[cursor_];
+        return cursor_;
+      }
+    }
+    start_round(now);
+  }
+  throw std::logic_error("WrrScheduler: no eligible queue");
+}
+
+}  // namespace pmsb::sched

@@ -1,0 +1,30 @@
+// Weighted Round Robin: serves up to round(w_i) packets from each backlogged
+// queue per round. Reports round completion for MQ-ECN's T_round estimate.
+#pragma once
+
+#include <cmath>
+
+#include "sched/scheduler.hpp"
+
+namespace pmsb::sched {
+
+class WrrScheduler final : public Scheduler {
+ public:
+  explicit WrrScheduler(std::size_t num_queues, std::vector<double> weights = {})
+      : Scheduler(num_queues, std::move(weights)), credits_(num_queues, 0) {}
+
+  [[nodiscard]] std::string name() const override { return "WRR"; }
+  [[nodiscard]] bool round_based() const override { return true; }
+
+ protected:
+  std::size_t select_queue(TimeNs now) override;
+
+ private:
+  void start_round(TimeNs now);
+
+  std::vector<int> credits_;
+  std::size_t cursor_ = 0;
+  bool in_round_ = false;
+};
+
+}  // namespace pmsb::sched

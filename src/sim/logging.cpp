@@ -1,0 +1,32 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace pmsb::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kNone: break;
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, TimeNs t, const std::string& msg) {
+  std::fprintf(stderr, "[%10.3fus %-5s] %s\n", to_microseconds(t), level_name(level),
+               msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace pmsb::sim

@@ -1,0 +1,38 @@
+// Minimal leveled logging for simulator components.
+//
+// Logging is off by default (benchmarks and large runs must not pay for
+// formatting); enable per-process with `set_log_level`. Messages carry the
+// simulation timestamp supplied by the caller so traces line up with events.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace pmsb::sim {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, TimeNs t, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, TimeNs t, const char* fmt, Args&&... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+  detail::log_line(level, t, buf);
+}
+
+inline void log(LogLevel level, TimeNs t, const char* msg) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  detail::log_line(level, t, msg);
+}
+
+}  // namespace pmsb::sim

@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pmsb::sim {
+
+EventId Simulator::schedule_at(TimeNs t, Callback fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time is in the past");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return;
+  if (cancelled_.insert(id).second && live_events_ > 0) --live_events_;
+}
+
+bool Simulator::step(TimeNs until) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    if (top.time > until) {
+      now_ = std::max(now_, until);
+      return false;
+    }
+    // Move the callback out before popping so re-entrant schedules are safe.
+    Event ev = std::move(const_cast<Event&>(top));
+    heap_.pop();
+    assert(live_events_ > 0);
+    --live_events_;
+    now_ = ev.time;
+    ++executed_events_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(TimeNs until) {
+  stop_requested_ = false;
+  while (!stop_requested_ && step(until)) {
+  }
+}
+
+}  // namespace pmsb::sim

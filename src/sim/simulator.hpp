@@ -1,0 +1,94 @@
+// The dcnsim discrete-event simulation kernel.
+//
+// A Simulator owns a priority queue of timestamped events. Components
+// schedule callbacks with `schedule(t, fn)`; `run()` pops events in
+// (time, insertion-sequence) order until the queue drains or a stop
+// condition fires. Ties at the same timestamp execute in the order they
+// were scheduled, which makes runs bit-for-bit reproducible.
+//
+// The kernel is deliberately single-threaded: datacenter-scale packet
+// simulations are dominated by event dispatch, and determinism is worth
+// more than parallelism for reproducing paper figures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pmsb::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Invalid/empty event handle.
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Valid inside and outside event callbacks.
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (must be >= now()).
+  /// Returns a handle that can be passed to `cancel`.
+  EventId schedule_at(TimeNs t, Callback fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  EventId schedule_in(TimeNs delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid handle
+  /// is a no-op. Cancelled events stay in the heap but are skipped lazily.
+  void cancel(EventId id);
+
+  /// Runs until the event queue is empty or `until` is reached (events with
+  /// timestamp strictly greater than `until` are left unfired and time is
+  /// clamped to `until`).
+  void run(TimeNs until = kTimeNever);
+
+  /// Executes at most one pending event. Returns false if none remain or
+  /// the next event is past `until`.
+  bool step(TimeNs until = kTimeNever);
+
+  /// Requests that `run()` return after the current event finishes.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_events_; }
+
+ private:
+  struct Event {
+    TimeNs time = 0;
+    EventId id = kInvalidEventId;  // also the insertion sequence number
+    Callback fn;
+  };
+
+  // Min-heap ordering: earliest time first; FIFO among equal times.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t executed_events_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace pmsb::sim

@@ -1,0 +1,56 @@
+// Bandwidth / size unit helpers shared across the simulator.
+//
+// Rates are plain bits-per-second integers so that serialization delays can
+// be computed exactly in integer nanoseconds. Helper factories make call
+// sites read like the paper ("10 Gbps links", "16 packet threshold").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pmsb::sim {
+
+/// Link / drain rate in bits per second.
+using RateBps = std::uint64_t;
+
+inline constexpr RateBps kbps(std::uint64_t v) { return v * 1'000ull; }
+inline constexpr RateBps mbps(std::uint64_t v) { return v * 1'000'000ull; }
+inline constexpr RateBps gbps(std::uint64_t v) { return v * 1'000'000'000ull; }
+
+/// Ethernet MTU used throughout the paper's experiments (bytes, on the wire).
+inline constexpr std::uint32_t kDefaultMtuBytes = 1500;
+
+/// TCP/IP header overhead assumed per segment (bytes).
+inline constexpr std::uint32_t kHeaderBytes = 40;
+
+/// Maximum segment payload for a default-MTU packet.
+inline constexpr std::uint32_t kDefaultMssBytes = kDefaultMtuBytes - kHeaderBytes;
+
+/// Time to serialize `bytes` onto a link of rate `rate` (rounded up so a
+/// packet never finishes "early"; rounding down could let two back-to-back
+/// packets overlap by a nanosecond).
+inline constexpr TimeNs serialization_delay(std::uint64_t bytes, RateBps rate) {
+  const std::uint64_t bits = bytes * 8ull;
+  // ns = bits / (rate / 1e9) = bits * 1e9 / rate, rounded up.
+  return static_cast<TimeNs>((bits * 1'000'000'000ull + rate - 1) / rate);
+}
+
+/// Bytes a link of rate `rate` drains in `t` nanoseconds (rounded down).
+inline constexpr std::uint64_t bytes_drained(TimeNs t, RateBps rate) {
+  if (t <= 0) return 0;
+  return static_cast<std::uint64_t>(t) * rate / 8ull / 1'000'000'000ull;
+}
+
+/// The bandwidth-delay product C * RTT expressed in bytes.
+inline constexpr std::uint64_t bdp_bytes(RateBps rate, TimeNs rtt) {
+  return static_cast<std::uint64_t>(rtt) * rate / 8ull / 1'000'000'000ull;
+}
+
+/// Converts a threshold given in packets (the paper's unit) to bytes.
+inline constexpr std::uint64_t packets_to_bytes(double packets,
+                                                std::uint32_t mtu = kDefaultMtuBytes) {
+  return static_cast<std::uint64_t>(packets * mtu);
+}
+
+}  // namespace pmsb::sim

@@ -1,0 +1,76 @@
+// CSV export of measurement series so results can be re-plotted outside
+// the simulator (gnuplot / matplotlib / spreadsheets).
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stats/fct.hpp"
+#include "stats/queue_trace.hpp"
+#include "stats/throughput.hpp"
+
+namespace pmsb::stats {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out_ << escape(cells[i]);
+      if (i + 1 < cells.size()) out_ << ',';
+    }
+    out_ << '\n';
+  }
+
+ private:
+  static std::string escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  std::ofstream out_;
+};
+
+/// One row per completed flow: id, bytes, bin, start_us, fct_us, service.
+inline void write_fct_csv(const std::string& path, const FctCollector& fct) {
+  CsvWriter csv(path);
+  csv.row({"flow", "bytes", "bin", "start_us", "fct_us", "service"});
+  for (const auto& r : fct.records()) {
+    csv.row({std::to_string(r.flow), std::to_string(r.bytes),
+             size_bin_name(size_bin(r.bytes)),
+             std::to_string(sim::to_microseconds(r.start)),
+             std::to_string(sim::to_microseconds(r.fct)),
+             std::to_string(static_cast<int>(r.service))});
+  }
+}
+
+/// One row per occupancy sample: time_us, bytes.
+inline void write_trace_csv(const std::string& path, const QueueTracer& tracer) {
+  CsvWriter csv(path);
+  csv.row({"time_us", "bytes"});
+  for (const auto& s : tracer.samples()) {
+    csv.row({std::to_string(sim::to_microseconds(s.time)), std::to_string(s.bytes)});
+  }
+}
+
+/// One row per throughput sample: time_us, gbps.
+inline void write_throughput_csv(const std::string& path, const ThroughputMeter& meter) {
+  CsvWriter csv(path);
+  csv.row({"time_us", "gbps"});
+  for (const auto& s : meter.samples()) {
+    csv.row({std::to_string(sim::to_microseconds(s.time)), std::to_string(s.gbps)});
+  }
+}
+
+}  // namespace pmsb::stats

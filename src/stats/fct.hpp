@@ -1,0 +1,97 @@
+// Flow-completion-time collection with the paper's size bins.
+//
+// §VI.B: small flows are < 100 KB, large flows are > 10 MB; everything in
+// between is "medium" (whose trends the paper folds into the overall
+// average).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "stats/summary.hpp"
+
+namespace pmsb::stats {
+
+enum class SizeBin { kSmall, kMedium, kLarge };
+
+inline constexpr std::uint64_t kSmallFlowMaxBytes = 100 * 1000;       // 100 KB
+inline constexpr std::uint64_t kLargeFlowMinBytes = 10 * 1000 * 1000;  // 10 MB
+
+[[nodiscard]] constexpr SizeBin size_bin(std::uint64_t bytes) {
+  if (bytes < kSmallFlowMaxBytes) return SizeBin::kSmall;
+  if (bytes > kLargeFlowMinBytes) return SizeBin::kLarge;
+  return SizeBin::kMedium;
+}
+
+[[nodiscard]] inline const char* size_bin_name(SizeBin bin) {
+  switch (bin) {
+    case SizeBin::kSmall: return "small";
+    case SizeBin::kMedium: return "medium";
+    case SizeBin::kLarge: return "large";
+  }
+  return "?";
+}
+
+struct FctRecord {
+  net::FlowId flow = 0;
+  std::uint64_t bytes = 0;
+  sim::TimeNs start = 0;
+  sim::TimeNs fct = 0;
+  net::ServiceId service = 0;
+};
+
+class FctCollector {
+ public:
+  void record(const FctRecord& rec) { records_.push_back(rec); }
+
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+  [[nodiscard]] const std::vector<FctRecord>& records() const { return records_; }
+
+  /// FCTs (in microseconds) for one bin; pass std::nullopt-like "all" via
+  /// `overall`.
+  [[nodiscard]] Summary fct_us(SizeBin bin) const {
+    Summary s;
+    for (const auto& r : records_) {
+      if (size_bin(r.bytes) == bin) s.add(sim::to_microseconds(r.fct));
+    }
+    return s;
+  }
+
+  [[nodiscard]] Summary overall_fct_us() const {
+    Summary s;
+    for (const auto& r : records_) s.add(sim::to_microseconds(r.fct));
+    return s;
+  }
+
+  /// The ideal (un-contended) FCT of a flow: one base RTT plus wire
+  /// serialization of the payload (with header inflation) at line rate.
+  [[nodiscard]] static sim::TimeNs ideal_fct(std::uint64_t bytes, sim::RateBps rate,
+                                             sim::TimeNs base_rtt,
+                                             std::uint32_t mss = sim::kDefaultMssBytes) {
+    const std::uint64_t segments = (bytes + mss - 1) / std::max<std::uint32_t>(mss, 1);
+    const std::uint64_t wire_bytes = bytes + segments * sim::kHeaderBytes;
+    return base_rtt + sim::serialization_delay(wire_bytes, rate);
+  }
+
+  /// FCT slowdown (measured / ideal) per size bin — the normalised metric
+  /// common in the FCT literature; 1.0 = the flow ran as if alone.
+  [[nodiscard]] Summary slowdown(SizeBin bin, sim::RateBps rate,
+                                 sim::TimeNs base_rtt) const {
+    Summary s;
+    for (const auto& r : records_) {
+      if (size_bin(r.bytes) != bin) continue;
+      const auto ideal = ideal_fct(r.bytes, rate, base_rtt);
+      s.add(static_cast<double>(r.fct) / static_cast<double>(ideal));
+    }
+    return s;
+  }
+
+ private:
+  std::vector<FctRecord> records_;
+};
+
+}  // namespace pmsb::stats

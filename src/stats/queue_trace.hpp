@@ -1,0 +1,65 @@
+// Periodic buffer-occupancy tracing for the paper's Figs. 4, 5, 11, 12.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pmsb::stats {
+
+class QueueTracer {
+ public:
+  struct Sample {
+    sim::TimeNs time = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Samples `occupancy_bytes` every `interval`.
+  QueueTracer(sim::Simulator& simulator, std::function<std::uint64_t()> occupancy_bytes,
+              sim::TimeNs interval)
+      : sim_(simulator), occupancy_(std::move(occupancy_bytes)), interval_(interval) {
+    schedule_next();
+  }
+
+  QueueTracer(const QueueTracer&) = delete;
+  QueueTracer& operator=(const QueueTracer&) = delete;
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  [[nodiscard]] std::uint64_t peak_bytes() const {
+    std::uint64_t peak = 0;
+    for (const auto& s : samples_) peak = std::max(peak, s.bytes);
+    return peak;
+  }
+
+  /// Mean occupancy over [from, to].
+  [[nodiscard]] double mean_bytes(sim::TimeNs from = 0,
+                                  sim::TimeNs to = sim::kTimeNever) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+      if (s.time < from || s.time > to) continue;
+      sum += static_cast<double>(s.bytes);
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+ private:
+  void schedule_next() {
+    sim_.schedule_in(interval_, [this] {
+      samples_.push_back({sim_.now(), occupancy_()});
+      schedule_next();
+    });
+  }
+
+  sim::Simulator& sim_;
+  std::function<std::uint64_t()> occupancy_;
+  sim::TimeNs interval_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace pmsb::stats

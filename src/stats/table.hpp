@@ -1,0 +1,54 @@
+// Fixed-width console tables for the benchmark harnesses, so every bench
+// prints paper-style rows that are easy to eyeball and to grep.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pmsb::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+
+  void print(std::FILE* out = stdout) const {
+    print_row(out, headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      rule += std::string(static_cast<std::size_t>(width_), '-');
+      rule += (i + 1 < headers_.size()) ? "-+-" : "";
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(out, row);
+  }
+
+ private:
+  void print_row(std::FILE* out, const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%-*s", width_, cells[i].c_str());
+      line += buf;
+      line += (i + 1 < cells.size()) ? " | " : "";
+    }
+    std::fprintf(out, "%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+}  // namespace pmsb::stats

@@ -1,0 +1,75 @@
+// Periodic throughput sampling.
+//
+// ThroughputMeter polls a byte counter (e.g. DctcpSender::bytes_acked or a
+// queue's served bytes) on a fixed interval and records per-interval rates,
+// producing the throughput-vs-time series of the paper's Figs. 3, 8, 13-15.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace pmsb::stats {
+
+class ThroughputMeter {
+ public:
+  struct Sample {
+    sim::TimeNs time = 0;   ///< end of the interval
+    double gbps = 0.0;
+  };
+
+  /// Starts sampling `byte_counter` every `interval` from `start`.
+  ThroughputMeter(sim::Simulator& simulator, std::function<std::uint64_t()> byte_counter,
+                  sim::TimeNs interval, std::string label = {})
+      : sim_(simulator),
+        counter_(std::move(byte_counter)),
+        interval_(interval),
+        label_(std::move(label)) {
+    last_bytes_ = counter_();
+    schedule_next();
+  }
+
+  ThroughputMeter(const ThroughputMeter&) = delete;
+  ThroughputMeter& operator=(const ThroughputMeter&) = delete;
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+  /// Mean rate over the samples in [from, to] (Gbps).
+  [[nodiscard]] double mean_gbps(sim::TimeNs from = 0,
+                                 sim::TimeNs to = sim::kTimeNever) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+      if (s.time < from || s.time > to) continue;
+      sum += s.gbps;
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+ private:
+  void schedule_next() {
+    sim_.schedule_in(interval_, [this] {
+      const std::uint64_t bytes = counter_();
+      const double gbps =
+          static_cast<double>(bytes - last_bytes_) * 8.0 / static_cast<double>(interval_);
+      last_bytes_ = bytes;
+      samples_.push_back({sim_.now(), gbps});
+      schedule_next();
+    });
+  }
+
+  sim::Simulator& sim_;
+  std::function<std::uint64_t()> counter_;
+  sim::TimeNs interval_;
+  std::string label_;
+  std::uint64_t last_bytes_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace pmsb::stats

@@ -1,0 +1,39 @@
+// Shared buffer pool across switch ports (the "service pool" of commodity
+// switching chips, §II.B of the paper).
+//
+// Ports that join a pool charge every buffered byte against it; admission
+// fails when the pool is exhausted even if the port's own budget has room.
+// Per-service-pool ECN marking compares the POOL occupancy to a threshold,
+// which couples queues on different ports — the isolation violation the
+// paper predicts for this mode.
+#pragma once
+
+#include <cstdint>
+
+namespace pmsb::switchlib {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::uint64_t limit_bytes) : limit_(limit_bytes) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Tries to charge `bytes`; returns false (and charges nothing) if the
+  /// pool would overflow.
+  [[nodiscard]] bool try_reserve(std::uint64_t bytes) {
+    if (bytes_ + bytes > limit_) return false;
+    bytes_ += bytes;
+    return true;
+  }
+
+  void release(std::uint64_t bytes) { bytes_ -= bytes > bytes_ ? bytes_ : bytes; }
+
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace pmsb::switchlib

@@ -1,0 +1,51 @@
+// EWMA occupancy estimation for averaged ECN/RED marking.
+//
+// Classic RED smooths the instantaneous queue length with an exponential
+// weighted moving average, avg <- (1-w)*avg + w*q, updated per arrival (and
+// decayed across idle periods by the number of packets that *could* have
+// been transmitted — the standard Floyd/Jacobson idle correction). The
+// paper's §IV.C notes PMSB works against instantaneous or averaged lengths;
+// this estimator provides the averaged mode for every scheme.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace pmsb::switchlib {
+
+class OccupancyEwma {
+ public:
+  /// `weight` is RED's w_q; `drain_rate` drives the idle-time decay.
+  OccupancyEwma(double weight, sim::RateBps drain_rate,
+                std::uint32_t mean_pkt_bytes = sim::kDefaultMtuBytes)
+      : weight_(weight), drain_rate_(drain_rate), mean_pkt_bytes_(mean_pkt_bytes) {}
+
+  /// Folds an observation of the instantaneous occupancy at time `now`.
+  void observe(std::uint64_t bytes, sim::TimeNs now) {
+    if (bytes == 0 && avg_ > 0.0) {
+      // Idle decay: pretend the averager saw `m` empty-queue samples, one
+      // per mean-packet transmission time since the queue went empty.
+      const double m = static_cast<double>(sim::bytes_drained(now - last_, drain_rate_)) /
+                       static_cast<double>(mean_pkt_bytes_);
+      avg_ *= std::pow(1.0 - weight_, m);
+    } else {
+      avg_ = (1.0 - weight_) * avg_ + weight_ * static_cast<double>(bytes);
+    }
+    last_ = now;
+  }
+
+  [[nodiscard]] double average_bytes() const { return avg_; }
+  [[nodiscard]] double weight() const { return weight_; }
+
+ private:
+  double weight_;
+  sim::RateBps drain_rate_;
+  std::uint32_t mean_pkt_bytes_;
+  double avg_ = 0.0;
+  sim::TimeNs last_ = 0;
+};
+
+}  // namespace pmsb::switchlib

@@ -1,0 +1,149 @@
+#include "switchlib/port.hpp"
+
+#include <utility>
+
+namespace pmsb::switchlib {
+
+Port::Port(sim::Simulator& simulator, net::Link* link, const PortConfig& config)
+    : sim_(simulator),
+      link_(link),
+      sched_(sched::make_scheduler(config.scheduler)),
+      marking_(ecn::make_marking(config.marking)),
+      mark_point_(ecn::effective_mark_point(config.marking)),
+      buffer_bytes_(config.buffer_bytes),
+      dt_alpha_(config.dt_alpha) {
+  stats_.marked_per_queue.assign(sched_->num_queues(), 0);
+  if (config.average_occupancy) {
+    const sim::RateBps rate = link_->rate();
+    for (std::size_t q = 0; q < sched_->num_queues(); ++q) {
+      queue_ewma_.emplace_back(config.ewma_weight, rate);
+    }
+    port_ewma_.emplace_back(config.ewma_weight, rate);
+  }
+  classifier_ = [n = sched_->num_queues()](const Packet& pkt) {
+    return static_cast<std::size_t>(pkt.service) % n;
+  };
+  // Round-based schedulers feed the marking scheme's T_round estimator.
+  sched_->set_round_observer(
+      [this](TimeNs now) { marking_->on_round_complete(now); });
+}
+
+void Port::update_ewma(std::size_t queue, std::uint64_t in_flight_bytes) {
+  if (port_ewma_.empty()) return;
+  const TimeNs now = sim_.now();
+  // Classic RED idle correction: a sample of zero decays the average by the
+  // packets that could have drained since the last observation.
+  if (sched_->total_bytes() == 0) port_ewma_[0].observe(0, now);
+  if (sched_->queue_bytes(queue) == 0) queue_ewma_[queue].observe(0, now);
+  port_ewma_[0].observe(sched_->total_bytes() + in_flight_bytes, now);
+  queue_ewma_[queue].observe(sched_->queue_bytes(queue) + in_flight_bytes, now);
+}
+
+ecn::PortSnapshot Port::snapshot(std::size_t queue, std::uint64_t extra_port_bytes,
+                                 std::uint64_t extra_queue_bytes,
+                                 std::size_t extra_packets) const {
+  ecn::PortSnapshot snap;
+  if (!port_ewma_.empty()) {
+    // Averaged mode: the EWMA already folds the packet under judgement in
+    // (update_ewma runs after enqueue / before dequeue-removal).
+    snap.port_bytes = static_cast<std::uint64_t>(port_ewma_[0].average_bytes());
+    snap.queue_bytes = static_cast<std::uint64_t>(queue_ewma_[queue].average_bytes());
+  } else {
+    snap.port_bytes = sched_->total_bytes() + extra_port_bytes;
+    snap.queue_bytes = sched_->queue_bytes(queue) + extra_queue_bytes;
+  }
+  snap.port_packets = sched_->total_packets() + extra_packets;
+  snap.queue_packets = sched_->queue_packets(queue) + extra_packets;
+  if (pool_ != nullptr) {
+    snap.has_pool = true;
+    // The pool charge for the packet under judgement is already reserved at
+    // enqueue and not yet released at dequeue, so no extra adjustment.
+    snap.pool_bytes = pool_->bytes();
+  }
+  snap.queue = queue;
+  snap.weight = sched_->weight(queue);
+  snap.weight_sum = sched_->weight_sum();
+  snap.num_queues = sched_->num_queues();
+  return snap;
+}
+
+void Port::trace_event(trace::EventKind kind, const Packet& pkt, std::size_t queue) {
+  if (tracer_ == nullptr) return;
+  tracer_->record({sim_.now(), kind, pkt.id, pkt.flow_id, queue,
+                   sched_->total_bytes()});
+}
+
+void Port::handle(Packet pkt) {
+  const std::size_t q = classifier_(pkt);
+  if (sched_->total_bytes() + pkt.size_bytes > buffer_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    trace_event(trace::EventKind::kDrop, pkt, q);
+    return;
+  }
+  if (pool_ != nullptr && dt_alpha_ > 0.0) {
+    // Dynamic Threshold: this port's allowance shrinks as the pool fills.
+    const double free_pool = static_cast<double>(pool_->limit() - pool_->bytes());
+    if (static_cast<double>(sched_->total_bytes() + pkt.size_bytes) >
+        dt_alpha_ * free_pool) {
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += pkt.size_bytes;
+      trace_event(trace::EventKind::kDrop, pkt, q);
+      return;
+    }
+  }
+  if (pool_ != nullptr && !pool_->try_reserve(pkt.size_bytes)) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    trace_event(trace::EventKind::kDrop, pkt, q);
+    return;
+  }
+  const bool was_empty = sched_->empty();
+  marking_->on_port_activity(sim_.now(), was_empty);
+
+  pkt.enqueue_time = sim_.now();
+  update_ewma(q, pkt.size_bytes);
+  if (mark_point_ == ecn::MarkPoint::kEnqueue && pkt.ect && !pkt.ce) {
+    // Snapshot includes the arriving packet (see marking.hpp convention).
+    if (marking_->should_mark(snapshot(q, pkt.size_bytes, pkt.size_bytes, 1), pkt,
+                              ecn::MarkPoint::kEnqueue, sim_.now())) {
+      pkt.ce = true;
+      ++stats_.marked_enqueue;
+      ++stats_.marked_per_queue[q];
+      trace_event(trace::EventKind::kMark, pkt, q);
+    }
+  }
+  trace_event(trace::EventKind::kEnqueue, pkt, q);
+  sched_->enqueue(q, std::move(pkt));
+  ++stats_.enqueued_packets;
+  try_transmit();
+}
+
+void Port::try_transmit() {
+  if (transmitting_ || sched_->empty()) return;
+  auto out = sched_->dequeue(sim_.now());
+  if (!out) return;
+  ++stats_.dequeued_packets;
+  Packet pkt = std::move(out->pkt);
+  update_ewma(out->queue, pkt.size_bytes);
+  if (mark_point_ == ecn::MarkPoint::kDequeue && pkt.ect && !pkt.ce) {
+    // Snapshot includes the departing packet (state before removal).
+    if (marking_->should_mark(snapshot(out->queue, pkt.size_bytes, pkt.size_bytes, 1),
+                              pkt, ecn::MarkPoint::kDequeue, sim_.now())) {
+      pkt.ce = true;
+      ++stats_.marked_dequeue;
+      ++stats_.marked_per_queue[out->queue];
+      trace_event(trace::EventKind::kMark, pkt, out->queue);
+    }
+  }
+  trace_event(trace::EventKind::kDequeue, pkt, out->queue);
+  if (pool_ != nullptr) pool_->release(pkt.size_bytes);
+  transmitting_ = true;
+  const TimeNs tx_done = link_->transmit(std::move(pkt));
+  sim_.schedule_at(tx_done, [this] {
+    transmitting_ = false;
+    try_transmit();
+  });
+}
+
+}  // namespace pmsb::switchlib

@@ -1,0 +1,115 @@
+// Output port of a switch: classification, shared buffer admission, ECN
+// marking (enqueue and/or dequeue side), a packet scheduler, and the
+// transmit loop that drives the attached link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ecn/factory.hpp"
+#include "ecn/marking.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sched/factory.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "switchlib/buffer_pool.hpp"
+#include "switchlib/occupancy.hpp"
+#include "trace/tracer.hpp"
+
+namespace pmsb::switchlib {
+
+using net::Packet;
+using sim::TimeNs;
+
+struct PortConfig {
+  sched::SchedulerConfig scheduler;
+  ecn::MarkingConfig marking;
+  /// Shared per-port buffer (drop-tail beyond this), in bytes.
+  std::uint64_t buffer_bytes = 512ull * 1500ull;
+  /// Feed marking schemes EWMA-averaged occupancies (classic RED averaging)
+  /// instead of instantaneous ones (paper §IV.C supports either).
+  bool average_occupancy = false;
+  double ewma_weight = 0.002;  ///< RED w_q when average_occupancy is set
+  /// Dynamic Threshold buffer management (Choudhury & Hahne): with a shared
+  /// pool attached, a port may only buffer up to dt_alpha * (free pool
+  /// space). 0 disables DT (plain static budgets). This is the policy the
+  /// micro-burst works the paper cites ([13], [14]) build on.
+  double dt_alpha = 0.0;
+};
+
+/// Per-port counters exposed for tests and benches.
+struct PortStats {
+  std::uint64_t enqueued_packets = 0;
+  std::uint64_t dequeued_packets = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t marked_enqueue = 0;
+  std::uint64_t marked_dequeue = 0;
+  std::vector<std::uint64_t> marked_per_queue;  ///< CE marks by queue
+};
+
+class Port {
+ public:
+  /// `service_to_queue` maps a packet's service tag to a queue index; the
+  /// default is `service % num_queues`.
+  using Classifier = std::function<std::size_t(const Packet&)>;
+
+  Port(sim::Simulator& simulator, net::Link* link, const PortConfig& config);
+
+  /// Admits a packet: classify -> drop-tail check -> (enqueue marking) ->
+  /// store -> kick the transmit loop.
+  void handle(Packet pkt);
+
+  void set_classifier(Classifier classifier) { classifier_ = std::move(classifier); }
+
+  /// Joins a shared buffer pool: admission charges the pool, and marking
+  /// schemes see the pool occupancy in their snapshot. The pool must
+  /// outlive the port.
+  void attach_pool(BufferPool* pool) { pool_ = pool; }
+  [[nodiscard]] BufferPool* pool() const { return pool_; }
+
+  /// Attaches a structured event tracer (nullptr to detach). The tracer
+  /// must outlive the port.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  [[nodiscard]] const sched::Scheduler& scheduler() const { return *sched_; }
+  [[nodiscard]] ecn::MarkingScheme& marking() { return *marking_; }
+  [[nodiscard]] const PortStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t buffered_bytes() const { return sched_->total_bytes(); }
+  [[nodiscard]] std::size_t buffered_packets() const { return sched_->total_packets(); }
+  [[nodiscard]] std::uint64_t queue_bytes(std::size_t q) const {
+    return sched_->queue_bytes(q);
+  }
+  [[nodiscard]] net::Link* link() const { return link_; }
+  [[nodiscard]] ecn::MarkPoint mark_point() const { return mark_point_; }
+
+ private:
+  void try_transmit();
+  [[nodiscard]] ecn::PortSnapshot snapshot(std::size_t queue,
+                                           std::uint64_t extra_port_bytes,
+                                           std::uint64_t extra_queue_bytes,
+                                           std::size_t extra_packets) const;
+
+  sim::Simulator& sim_;
+  net::Link* link_;
+  std::unique_ptr<sched::Scheduler> sched_;
+  std::unique_ptr<ecn::MarkingScheme> marking_;
+  ecn::MarkPoint mark_point_;
+  std::uint64_t buffer_bytes_;
+  double dt_alpha_;
+  Classifier classifier_;
+  BufferPool* pool_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
+  bool transmitting_ = false;
+  void trace_event(trace::EventKind kind, const Packet& pkt, std::size_t queue);
+  PortStats stats_;
+  // EWMA estimators (populated only when config.average_occupancy is set).
+  std::vector<OccupancyEwma> queue_ewma_;
+  std::vector<OccupancyEwma> port_ewma_;  ///< 0 or 1 element
+  void update_ewma(std::size_t queue, std::uint64_t in_flight_bytes);
+};
+
+}  // namespace pmsb::switchlib

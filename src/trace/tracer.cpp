@@ -1,0 +1,18 @@
+#include "trace/tracer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pmsb::trace {
+
+void Tracer::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Tracer::write_csv: cannot open " + path);
+  out << "time_us,event,packet,flow,queue,port_bytes\n";
+  for (const auto& r : records_) {
+    out << sim::to_microseconds(r.time) << ',' << event_kind_name(r.kind) << ','
+        << r.packet << ',' << r.flow << ',' << r.queue << ',' << r.port_bytes << '\n';
+  }
+}
+
+}  // namespace pmsb::trace

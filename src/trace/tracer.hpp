@@ -1,0 +1,88 @@
+// Structured per-packet event tracing for switch ports.
+//
+// Attach a Tracer to a Port to capture enqueue / dequeue / mark / drop
+// events with timestamps and buffer state. Intended for debugging marking
+// behaviour and for fine-grained analysis (e.g. "which queue's packets were
+// marked while the port was over threshold" — the victim question at the
+// heart of the paper). Bounded capacity so a forgotten tracer cannot eat
+// the heap; overflow is counted, not silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace pmsb::trace {
+
+enum class EventKind : std::uint8_t { kEnqueue, kDequeue, kMark, kDrop };
+
+[[nodiscard]] inline const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEnqueue: return "enqueue";
+    case EventKind::kDequeue: return "dequeue";
+    case EventKind::kMark: return "mark";
+    case EventKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+struct Record {
+  sim::TimeNs time = 0;
+  EventKind kind = EventKind::kEnqueue;
+  std::uint64_t packet = 0;
+  net::FlowId flow = 0;
+  std::size_t queue = 0;
+  std::uint64_t port_bytes = 0;  ///< port occupancy at the event
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1'000'000) : capacity_(capacity) {}
+
+  /// Restrict capture to one flow (0 = capture everything).
+  void set_flow_filter(net::FlowId flow) { flow_filter_ = flow; }
+
+  void record(const Record& rec) {
+    if (flow_filter_ != 0 && rec.flow != flow_filter_) return;
+    if (records_.size() >= capacity_) {
+      ++overflow_;
+      return;
+    }
+    records_.push_back(rec);
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  [[nodiscard]] std::size_t count(EventKind kind) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) n += r.kind == kind ? 1 : 0;
+    return n;
+  }
+
+  /// Events of `kind` charged to queue `q`.
+  [[nodiscard]] std::size_t count_queue(EventKind kind, std::size_t q) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) n += (r.kind == kind && r.queue == q) ? 1 : 0;
+    return n;
+  }
+
+  void clear() {
+    records_.clear();
+    overflow_ = 0;
+  }
+
+  /// CSV dump: time_us, event, packet, flow, queue, port_bytes.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  net::FlowId flow_filter_ = 0;
+  std::vector<Record> records_;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace pmsb::trace

@@ -1,0 +1,48 @@
+// RFC 6298-style smoothed RTT / RTO estimation, with datacenter-scale floors.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/time.hpp"
+
+namespace pmsb::transport {
+
+using sim::TimeNs;
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(TimeNs min_rto = sim::milliseconds(1),
+                        TimeNs initial_rto = sim::milliseconds(10))
+      : min_rto_(min_rto), rto_(initial_rto) {}
+
+  void add_sample(TimeNs rtt) {
+    last_ = rtt;
+    if (!valid_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      valid_ = true;
+    } else {
+      rttvar_ = (3 * rttvar_ + std::abs(srtt_ - rtt)) / 4;
+      srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+    rto_ = std::max(min_rto_, srtt_ + 4 * rttvar_);
+  }
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] TimeNs srtt() const { return srtt_; }
+  [[nodiscard]] TimeNs rttvar() const { return rttvar_; }
+  [[nodiscard]] TimeNs rto() const { return rto_; }
+  /// Most recent raw sample — the "cur_rtt" input of PMSB(e)'s Algorithm 2.
+  [[nodiscard]] TimeNs last_sample() const { return last_; }
+
+ private:
+  TimeNs min_rto_;
+  TimeNs rto_;
+  TimeNs srtt_ = 0;
+  TimeNs rttvar_ = 0;
+  TimeNs last_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace pmsb::transport

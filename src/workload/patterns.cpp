@@ -1,0 +1,78 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pmsb::workload {
+
+std::vector<FlowSpec> permutation_pattern(std::size_t num_hosts, std::uint64_t bytes,
+                                          sim::TimeNs start, std::uint8_t num_services,
+                                          sim::Rng& rng) {
+  if (num_hosts < 2) throw std::invalid_argument("permutation: need >= 2 hosts");
+  std::vector<std::size_t> perm(num_hosts);
+  std::iota(perm.begin(), perm.end(), 0);
+  // Sattolo's algorithm yields a single cycle: a derangement by construction.
+  for (std::size_t i = num_hosts - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<FlowSpec> flows;
+  flows.reserve(num_hosts);
+  for (std::size_t src = 0; src < num_hosts; ++src) {
+    FlowSpec spec;
+    spec.src = static_cast<net::HostId>(src);
+    spec.dst = static_cast<net::HostId>(perm[src]);
+    spec.service = static_cast<net::ServiceId>(src % num_services);
+    spec.bytes = bytes;
+    spec.start = start;
+    flows.push_back(spec);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> incast_pattern(std::size_t num_hosts, net::HostId aggregator,
+                                     std::size_t fan_in, std::uint64_t bytes,
+                                     sim::TimeNs start, std::uint8_t num_services) {
+  if (num_hosts < 2) throw std::invalid_argument("incast: need >= 2 hosts");
+  if (aggregator >= num_hosts) throw std::invalid_argument("incast: bad aggregator");
+  std::vector<FlowSpec> flows;
+  flows.reserve(fan_in);
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < fan_in; ++i) {
+    while (src % num_hosts == aggregator) ++src;
+    FlowSpec spec;
+    spec.src = static_cast<net::HostId>(src % num_hosts);
+    spec.dst = aggregator;
+    spec.service = static_cast<net::ServiceId>(i % num_services);
+    spec.bytes = bytes;
+    spec.start = start;
+    flows.push_back(spec);
+    ++src;
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> all_to_all_pattern(std::size_t num_hosts, std::uint64_t bytes,
+                                         sim::TimeNs start, sim::TimeNs jitter,
+                                         std::uint8_t num_services, sim::Rng& rng) {
+  std::vector<FlowSpec> flows;
+  flows.reserve(num_hosts * (num_hosts - 1));
+  std::size_t i = 0;
+  for (std::size_t src = 0; src < num_hosts; ++src) {
+    for (std::size_t dst = 0; dst < num_hosts; ++dst) {
+      if (src == dst) continue;
+      FlowSpec spec;
+      spec.src = static_cast<net::HostId>(src);
+      spec.dst = static_cast<net::HostId>(dst);
+      spec.service = static_cast<net::ServiceId>(i++ % num_services);
+      spec.bytes = bytes;
+      spec.start = start + (jitter > 0 ? rng.uniform_int(0, jitter - 1) : 0);
+      flows.push_back(spec);
+    }
+  }
+  return flows;
+}
+
+}  // namespace pmsb::workload

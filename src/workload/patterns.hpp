@@ -1,0 +1,32 @@
+// Synthetic traffic patterns beyond the Poisson mix: permutation matrices,
+// incast (partition-aggregate) bursts, and all-to-all shuffles — the
+// standard datacenter evaluation patterns.
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace pmsb::workload {
+
+/// Permutation: every host sends one flow to a distinct peer (a random
+/// derangement), all starting at `start`.
+std::vector<FlowSpec> permutation_pattern(std::size_t num_hosts, std::uint64_t bytes,
+                                          sim::TimeNs start, std::uint8_t num_services,
+                                          sim::Rng& rng);
+
+/// Incast: `fan_in` servers (all hosts except the aggregator, cycled) send a
+/// synchronized `bytes` response to `aggregator` at `start`.
+std::vector<FlowSpec> incast_pattern(std::size_t num_hosts, net::HostId aggregator,
+                                     std::size_t fan_in, std::uint64_t bytes,
+                                     sim::TimeNs start, std::uint8_t num_services);
+
+/// All-to-all shuffle: every ordered pair (src != dst) exchanges one flow of
+/// `bytes`, with starts jittered uniformly in [start, start + jitter).
+std::vector<FlowSpec> all_to_all_pattern(std::size_t num_hosts, std::uint64_t bytes,
+                                         sim::TimeNs start, sim::TimeNs jitter,
+                                         std::uint8_t num_services, sim::Rng& rng);
+
+}  // namespace pmsb::workload

@@ -1,0 +1,122 @@
+#include "workload/size_dist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmsb::workload {
+
+FlowSizeDistribution::FlowSizeDistribution(std::string name, std::vector<CdfPoint> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("FlowSizeDistribution: need >= 2 CDF points");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].bytes <= points_[i - 1].bytes ||
+        points_[i].prob < points_[i - 1].prob) {
+      throw std::invalid_argument("FlowSizeDistribution: CDF not monotone");
+    }
+  }
+  if (points_.front().prob < 0.0 || points_.back().prob != 1.0) {
+    throw std::invalid_argument("FlowSizeDistribution: CDF must end at 1.0");
+  }
+}
+
+std::uint64_t FlowSizeDistribution::sample(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  if (u <= points_.front().prob) return points_.front().bytes;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].prob) {
+      const auto& lo = points_[i - 1];
+      const auto& hi = points_[i];
+      const double span = hi.prob - lo.prob;
+      const double frac = span <= 0.0 ? 1.0 : (u - lo.prob) / span;
+      return lo.bytes + static_cast<std::uint64_t>(
+                            frac * static_cast<double>(hi.bytes - lo.bytes));
+    }
+  }
+  return points_.back().bytes;
+}
+
+double FlowSizeDistribution::mean_bytes() const {
+  // First segment: mass points_.front().prob sits at the first point.
+  double mean = points_.front().prob * static_cast<double>(points_.front().bytes);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const auto& lo = points_[i - 1];
+    const auto& hi = points_[i];
+    const double mass = hi.prob - lo.prob;
+    mean += mass * 0.5 * (static_cast<double>(lo.bytes) + static_cast<double>(hi.bytes));
+  }
+  return mean;
+}
+
+double FlowSizeDistribution::cdf(std::uint64_t bytes) const {
+  if (bytes <= points_.front().bytes) {
+    return bytes == points_.front().bytes ? points_.front().prob : 0.0;
+  }
+  if (bytes >= points_.back().bytes) return 1.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (bytes <= points_[i].bytes) {
+      const auto& lo = points_[i - 1];
+      const auto& hi = points_[i];
+      const double frac = static_cast<double>(bytes - lo.bytes) /
+                          static_cast<double>(hi.bytes - lo.bytes);
+      return lo.prob + frac * (hi.prob - lo.prob);
+    }
+  }
+  return 1.0;
+}
+
+FlowSizeDistribution FlowSizeDistribution::paper_mix() {
+  // 60% < 100 KB, 30% in [100 KB, 10 MB], 10% in (10 MB, 30 MB] — exactly
+  // the proportions of §VI.B.
+  return FlowSizeDistribution("paper-mix", {
+                                               {2'000, 0.0},
+                                               {30'000, 0.35},
+                                               {100'000, 0.60},
+                                               {1'000'000, 0.78},
+                                               {10'000'000, 0.90},
+                                               {30'000'000, 1.0},
+                                           });
+}
+
+FlowSizeDistribution FlowSizeDistribution::web_search() {
+  // DCTCP-paper web-search shape (Alizadeh et al. Fig. 4, as tabulated in
+  // the MQ-ECN/TCN simulation releases).
+  return FlowSizeDistribution("web-search", {
+                                                {6'000, 0.0},
+                                                {10'000, 0.15},
+                                                {20'000, 0.20},
+                                                {30'000, 0.30},
+                                                {50'000, 0.40},
+                                                {80'000, 0.53},
+                                                {200'000, 0.60},
+                                                {1'000'000, 0.70},
+                                                {2'000'000, 0.80},
+                                                {5'000'000, 0.90},
+                                                {10'000'000, 0.97},
+                                                {30'000'000, 1.0},
+                                            });
+}
+
+FlowSizeDistribution FlowSizeDistribution::data_mining(std::uint64_t tail_cap_bytes) {
+  std::vector<CdfPoint> pts = {
+      {100, 0.0},       {1'000, 0.50},      {2'000, 0.60},
+      {10'000, 0.70},   {100'000, 0.80},    {1'000'000, 0.90},
+      {10'000'000, 0.95},
+  };
+  pts.push_back({std::max<std::uint64_t>(tail_cap_bytes, 20'000'000), 1.0});
+  return FlowSizeDistribution("data-mining", std::move(pts));
+}
+
+FlowSizeDistribution FlowSizeDistribution::fixed(std::uint64_t bytes) {
+  return FlowSizeDistribution("fixed", {{bytes, 0.0}, {bytes + 1, 1.0}});
+}
+
+FlowSizeDistribution FlowSizeDistribution::by_name(const std::string& name) {
+  if (name == "paper-mix") return paper_mix();
+  if (name == "web-search") return web_search();
+  if (name == "data-mining") return data_mining();
+  throw std::invalid_argument("unknown flow size distribution: " + name);
+}
+
+}  // namespace pmsb::workload

@@ -1,0 +1,55 @@
+// Flow-size distributions for workload generation.
+//
+// A FlowSizeDistribution is a piecewise-linear CDF sampled by inverse
+// transform. Three presets:
+//  - paper_mix: matches the only two knobs the PMSB paper specifies for its
+//    large-scale workload — 60% small (<100 KB) and 10% large (>10 MB).
+//  - web_search: the DCTCP-paper web-search workload shape used throughout
+//    the MQ-ECN / TCN literature.
+//  - data_mining: the VL2-style heavy-tailed workload (tail capped so quick
+//    simulation runs stay bounded; the cap is configurable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace pmsb::workload {
+
+class FlowSizeDistribution {
+ public:
+  struct CdfPoint {
+    std::uint64_t bytes;
+    double prob;  ///< P(size <= bytes)
+  };
+
+  /// Points must be strictly increasing in both fields and end at prob 1.0.
+  FlowSizeDistribution(std::string name, std::vector<CdfPoint> points);
+
+  /// Inverse-CDF sample.
+  [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const;
+
+  /// Expected flow size (exact for the piecewise-linear CDF).
+  [[nodiscard]] double mean_bytes() const;
+
+  /// P(size <= bytes).
+  [[nodiscard]] double cdf(std::uint64_t bytes) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<CdfPoint>& points() const { return points_; }
+
+  // --- Presets ---
+  static FlowSizeDistribution paper_mix();
+  static FlowSizeDistribution web_search();
+  static FlowSizeDistribution data_mining(std::uint64_t tail_cap_bytes = 100'000'000);
+  static FlowSizeDistribution fixed(std::uint64_t bytes);
+  static FlowSizeDistribution by_name(const std::string& name);
+
+ private:
+  std::string name_;
+  std::vector<CdfPoint> points_;
+};
+
+}  // namespace pmsb::workload

@@ -1,0 +1,49 @@
+// Poisson traffic generation (§VI.B).
+//
+// Flow arrivals form a Poisson process whose rate is chosen so that the
+// offered load equals `load` × the aggregate edge capacity:
+//     lambda = load * num_hosts * edge_rate / (8 * mean_flow_size)
+// Source and destination hosts are drawn uniformly (src != dst), and flows
+// are classified round-robin into `num_services` services — the paper's
+// "48x47 communications classified into 8 services evenly".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+#include "workload/size_dist.hpp"
+
+namespace pmsb::workload {
+
+struct FlowSpec {
+  net::HostId src = 0;
+  net::HostId dst = 0;
+  net::ServiceId service = 0;
+  std::uint64_t bytes = 0;
+  sim::TimeNs start = 0;
+};
+
+struct TrafficConfig {
+  std::size_t num_hosts = 48;
+  double load = 0.5;                      ///< fraction of aggregate edge capacity
+  sim::RateBps edge_rate = sim::gbps(10);
+  std::size_t num_flows = 1000;
+  std::uint8_t num_services = 8;
+  sim::TimeNs start_after = 0;            ///< arrivals begin after this time
+  bool rack_local_allowed = true;         ///< if false, src and dst differ by rack
+  std::size_t hosts_per_rack = 12;        ///< used when rack_local_allowed == false
+};
+
+/// Generates `cfg.num_flows` flow specs. Deterministic given `rng`'s seed.
+std::vector<FlowSpec> generate_poisson_traffic(const TrafficConfig& cfg,
+                                               const FlowSizeDistribution& dist,
+                                               sim::Rng& rng);
+
+/// The Poisson arrival rate (flows/second) implied by a traffic config.
+double poisson_arrival_rate(const TrafficConfig& cfg, const FlowSizeDistribution& dist);
+
+}  // namespace pmsb::workload

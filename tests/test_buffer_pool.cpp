@@ -1,0 +1,115 @@
+// Tests for the shared buffer pool, per-service-pool marking, and the
+// cross-port interference the paper predicts for it (§II.B).
+#include <gtest/gtest.h>
+
+#include "ecn/per_pool.hpp"
+#include "experiments/multiport.hpp"
+#include "switchlib/buffer_pool.hpp"
+
+using namespace pmsb;
+using namespace pmsb::switchlib;
+
+TEST(BufferPool, ReserveAndRelease) {
+  BufferPool pool(10'000);
+  EXPECT_TRUE(pool.try_reserve(6'000));
+  EXPECT_EQ(pool.bytes(), 6'000u);
+  EXPECT_FALSE(pool.try_reserve(5'000));  // would overflow; charges nothing
+  EXPECT_EQ(pool.bytes(), 6'000u);
+  EXPECT_TRUE(pool.try_reserve(4'000));
+  pool.release(10'000);
+  EXPECT_EQ(pool.bytes(), 0u);
+}
+
+TEST(BufferPool, ReleaseClampsAtZero) {
+  BufferPool pool(1'000);
+  EXPECT_TRUE(pool.try_reserve(500));
+  pool.release(9'999);
+  EXPECT_EQ(pool.bytes(), 0u);
+}
+
+TEST(PerPoolMarking, UsesPoolOccupancy) {
+  ecn::PerPoolMarking m(5'000);
+  ecn::PortSnapshot snap;
+  snap.has_pool = true;
+  snap.pool_bytes = 4'999;
+  snap.port_bytes = 999'999;  // irrelevant when a pool exists
+  EXPECT_FALSE(m.should_mark(snap, {}, ecn::MarkPoint::kEnqueue, 0));
+  snap.pool_bytes = 5'000;
+  EXPECT_TRUE(m.should_mark(snap, {}, ecn::MarkPoint::kEnqueue, 0));
+}
+
+TEST(PerPoolMarking, FallsBackToPortWithoutPool) {
+  ecn::PerPoolMarking m(5'000);
+  ecn::PortSnapshot snap;
+  snap.has_pool = false;
+  snap.port_bytes = 5'000;
+  EXPECT_TRUE(m.should_mark(snap, {}, ecn::MarkPoint::kEnqueue, 0));
+}
+
+namespace {
+
+experiments::MultiPortConfig pool_config(std::uint64_t pool_threshold_pkts) {
+  experiments::MultiPortConfig cfg;
+  cfg.num_senders = 9;
+  cfg.num_receivers = 2;
+  cfg.scheduler.kind = sched::SchedulerKind::kFifo;
+  cfg.scheduler.num_queues = 1;
+  cfg.marking.kind = ecn::MarkingKind::kPerPool;
+  cfg.marking.threshold_bytes = pool_threshold_pkts * 1500;
+  cfg.shared_pool_bytes = 4096ull * 1500ull;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(PoolIsolation, CrossPortInterferenceUnderPerPoolMarking) {
+  // Port A: 8 flows; port B: 1 flow. Both ports could run at 10G (separate
+  // egress links!) but per-pool marking lets A's buffer occupancy mark B's
+  // packets, so B loses throughput — the paper's §II.B conjecture.
+  experiments::MultiPortScenario sc(pool_config(16));
+  for (std::size_t i = 0; i < 8; ++i) {
+    sc.add_flow({.sender = i, .receiver = 0, .service = 0, .bytes = 0, .start = 0});
+  }
+  sc.add_flow({.sender = 8, .receiver = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(10));
+  const auto b0 = sc.served_bytes(1, 0);
+  sc.run(sim::milliseconds(50));
+  const double gbps_b = static_cast<double>(sc.served_bytes(1, 0) - b0) * 8.0 /
+                        static_cast<double>(sim::milliseconds(40));
+  EXPECT_LT(gbps_b, 9.0);  // clearly below its private 10G
+}
+
+TEST(PoolIsolation, PmsbPerPortKeepsPortsIndependent) {
+  // Same topology, but each port marks with PMSB against its own buffer:
+  // port B's lone flow keeps (nearly) line rate.
+  auto cfg = pool_config(16);
+  cfg.marking.kind = ecn::MarkingKind::kPmsb;
+  cfg.marking.threshold_bytes = 12 * 1500;
+  cfg.marking.weights = {1.0};
+  experiments::MultiPortScenario sc(cfg);
+  for (std::size_t i = 0; i < 8; ++i) {
+    sc.add_flow({.sender = i, .receiver = 0, .service = 0, .bytes = 0, .start = 0});
+  }
+  sc.add_flow({.sender = 8, .receiver = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(10));
+  const auto b0 = sc.served_bytes(1, 0);
+  sc.run(sim::milliseconds(50));
+  const double gbps_b = static_cast<double>(sc.served_bytes(1, 0) - b0) * 8.0 /
+                        static_cast<double>(sim::milliseconds(40));
+  EXPECT_GT(gbps_b, 9.3);
+}
+
+TEST(PoolAdmission, PoolExhaustionDropsAcrossPorts) {
+  // A pool smaller than one port's appetite forces drops even though the
+  // per-port budgets are large.
+  auto cfg = pool_config(1'000'000);  // marking effectively off
+  cfg.shared_pool_bytes = 8 * 1500;
+  cfg.transport.ecn_enabled = false;
+  experiments::MultiPortScenario sc(cfg);
+  for (std::size_t i = 0; i < 8; ++i) {
+    sc.add_flow({.sender = i, .receiver = 0, .service = 0,
+                 .bytes = 200'000, .start = 0});
+  }
+  sc.run(sim::seconds(2));
+  EXPECT_GT(sc.receiver_port(0).stats().dropped_packets, 0u);
+}

@@ -1,0 +1,123 @@
+// Truth-table tests of the paper's Algorithm 1 (PMSB) and Algorithm 2
+// (PMSB(e)) pure functions.
+#include <gtest/gtest.h>
+
+#include "core/pmsb_algorithm.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+using namespace pmsb;
+using namespace pmsb::core;
+
+// --- Algorithm 1 ---
+
+TEST(Algorithm1, NoMarkBelowPortThreshold) {
+  // Lines 1-3: port not congested -> never mark, regardless of queue state.
+  EXPECT_FALSE(pmsb_should_mark(/*port*/ 999, /*portK*/ 1000, /*queue*/ 999, 1.0, 1.0));
+  EXPECT_FALSE(pmsb_should_mark(0, 1000, 0, 1.0, 2.0));
+}
+
+TEST(Algorithm1, MarkWhenBothConditionsHold) {
+  // Port at threshold and queue at its weight share.
+  EXPECT_TRUE(pmsb_should_mark(1000, 1000, 500, 1.0, 2.0));
+  EXPECT_TRUE(pmsb_should_mark(2000, 1000, 501, 1.0, 2.0));
+}
+
+TEST(Algorithm1, SelectiveBlindnessSparesShortQueue) {
+  // Port qualifies but this queue is under its share: the victim case the
+  // paper protects (lines 8-9).
+  EXPECT_FALSE(pmsb_should_mark(1000, 1000, 499, 1.0, 2.0));
+  EXPECT_FALSE(pmsb_should_mark(5000, 1000, 0, 1.0, 2.0));
+}
+
+TEST(Algorithm1, QueueThresholdExactBoundaryMarks) {
+  // Line 5 uses >=: exactly at the queue threshold marks.
+  EXPECT_TRUE(pmsb_should_mark(1000, 1000, 500, 1.0, 2.0));
+}
+
+TEST(Algorithm1, PortThresholdExactBoundaryMarks) {
+  // Line 1 uses <: port_length == port_threshold proceeds to the filter.
+  EXPECT_TRUE(pmsb_should_mark(1000, 1000, 1000, 1.0, 1.0));
+}
+
+TEST(Algorithm1, WeightShareScalesQueueThreshold) {
+  // Heavier queue needs proportionally more backlog to be marked.
+  const std::uint64_t port_k = 7000;
+  // w=3 of 7 -> queue threshold 3000.
+  EXPECT_FALSE(pmsb_should_mark(7000, port_k, 2999, 3.0, 7.0));
+  EXPECT_TRUE(pmsb_should_mark(7000, port_k, 3000, 3.0, 7.0));
+  // w=4 of 7 -> queue threshold 4000.
+  EXPECT_FALSE(pmsb_should_mark(7000, port_k, 3999, 4.0, 7.0));
+  EXPECT_TRUE(pmsb_should_mark(7000, port_k, 4000, 4.0, 7.0));
+}
+
+TEST(Algorithm1, FilterScaleMakesBlindnessConservative) {
+  // filter_scale > 1: more blindness (fewer marks accepted).
+  EXPECT_TRUE(pmsb_should_mark(1000, 1000, 500, 1.0, 2.0, 1.0));
+  EXPECT_FALSE(pmsb_should_mark(1000, 1000, 500, 1.0, 2.0, 1.5));
+  // filter_scale < 1: more aggressive marking.
+  EXPECT_TRUE(pmsb_should_mark(1000, 1000, 300, 1.0, 2.0, 0.5));
+}
+
+TEST(Algorithm1, SingleQueuePortDegeneratesToPerPort) {
+  // With one queue, queue length == port length, so Algorithm 1 reduces to
+  // plain per-port marking.
+  for (std::uint64_t len : {0ull, 500ull, 1000ull, 2000ull}) {
+    EXPECT_EQ(pmsb_should_mark(len, 1000, len, 1.0, 1.0), len >= 1000);
+  }
+}
+
+TEST(Algorithm1, QueueThresholdFormula) {
+  EXPECT_DOUBLE_EQ(pmsb_queue_threshold(1.0, 2.0, 1000), 500.0);
+  EXPECT_DOUBLE_EQ(pmsb_queue_threshold(3.0, 4.0, 2000), 1500.0);
+  EXPECT_DOUBLE_EQ(pmsb_queue_threshold(1.0, 1.0, 1234), 1234.0);
+  EXPECT_DOUBLE_EQ(pmsb_queue_threshold(1.0, 2.0, 1000, 0.5), 250.0);
+}
+
+TEST(Algorithm1, ExhaustiveTruthTable) {
+  // Sweep a grid and check against the reference predicate.
+  const std::uint64_t port_k = 1200;
+  for (std::uint64_t port_len = 0; port_len <= 2400; port_len += 100) {
+    for (std::uint64_t q_len = 0; q_len <= 1200; q_len += 50) {
+      for (double w : {0.5, 1.0, 2.0}) {
+        const double wsum = 3.5;
+        const bool expected =
+            port_len >= port_k &&
+            static_cast<double>(q_len) >= w / wsum * static_cast<double>(port_k);
+        EXPECT_EQ(pmsb_should_mark(port_len, port_k, q_len, w, wsum), expected)
+            << "port=" << port_len << " queue=" << q_len << " w=" << w;
+      }
+    }
+  }
+}
+
+// --- Algorithm 2 ---
+
+TEST(Algorithm2, NoMarkAlwaysIgnored) {
+  // Lines 1-3: nothing to react to.
+  EXPECT_TRUE(pmsbe_ignore_mark(false, sim::microseconds(999), sim::microseconds(1)));
+  EXPECT_TRUE(pmsbe_ignore_mark(false, 0, 0));
+}
+
+TEST(Algorithm2, SmallRttIgnoresMark) {
+  // Lines 4-6: RTT below threshold -> victim of per-port marking -> blind.
+  EXPECT_TRUE(
+      pmsbe_ignore_mark(true, sim::microseconds(30), sim::microseconds(40)));
+}
+
+TEST(Algorithm2, LargeRttAcceptsMark) {
+  // Lines 7-8.
+  EXPECT_FALSE(
+      pmsbe_ignore_mark(true, sim::microseconds(50), sim::microseconds(40)));
+}
+
+TEST(Algorithm2, ThresholdBoundaryAccepts) {
+  // Line 4 uses <: cur_rtt == threshold accepts the mark.
+  EXPECT_FALSE(
+      pmsbe_ignore_mark(true, sim::microseconds(40), sim::microseconds(40)));
+}
+
+TEST(Algorithm2, ZeroThresholdNeverIgnoresRealMarks) {
+  EXPECT_FALSE(pmsbe_ignore_mark(true, 1, 0));
+  EXPECT_FALSE(pmsbe_ignore_mark(true, 0, 0));
+}

@@ -1,0 +1,93 @@
+// Tests for the D2TCP deadline-aware extension: the cut exponent d = Tc/D
+// modulates the penalty so near-deadline flows back off less.
+#include <gtest/gtest.h>
+
+#include "experiments/dumbbell.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+namespace {
+DumbbellConfig congested_config(std::size_t senders) {
+  DumbbellConfig cfg;
+  cfg.num_senders = senders;
+  cfg.scheduler.kind = sched::SchedulerKind::kFifo;
+  cfg.scheduler.num_queues = 1;
+  cfg.marking.kind = ecn::MarkingKind::kPerPort;
+  cfg.marking.threshold_bytes = 12 * 1500;
+  cfg.transport.d2tcp_enabled = true;
+  return cfg;
+}
+}  // namespace
+
+TEST(D2tcp, NoDeadlineBehavesLikeDctcp) {
+  DumbbellScenario sc(congested_config(2));
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0});
+  sc.add_flow({.sender = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(15));
+  EXPECT_GT(sc.flow(0).sender().stats().window_cuts, 0u);
+  EXPECT_DOUBLE_EQ(sc.flow(0).sender().last_cut_exponent(), 1.0);
+}
+
+TEST(D2tcp, TightDeadlineRaisesExponent) {
+  // A flow that cannot possibly finish in time (Tc >> D) gets d clamped to
+  // 2.0 -> penalty alpha^2 <= alpha -> gentler cuts.
+  DumbbellScenario sc(congested_config(3));
+  const auto idx =
+      sc.add_flow({.sender = 0, .service = 0, .bytes = 50'000'000, .start = 0});
+  sc.flow(idx).sender().set_deadline(sim::milliseconds(1));  // hopeless
+  sc.add_flow({.sender = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.add_flow({.sender = 2, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::microseconds(900));  // before the deadline passes
+  if (sc.flow(idx).sender().stats().window_cuts > 0) {
+    EXPECT_GT(sc.flow(idx).sender().last_cut_exponent(), 1.0);
+  }
+  // After the deadline passes, d reverts to plain DCTCP.
+  sc.run(sim::milliseconds(20));
+  EXPECT_DOUBLE_EQ(sc.flow(idx).sender().last_cut_exponent(), 1.0);
+}
+
+TEST(D2tcp, LooseDeadlineLowersExponent) {
+  // A flow with ages of slack (Tc << D) gets d clamped to 0.5 -> penalty
+  // alpha^0.5 >= alpha -> harsher cuts, yielding bandwidth to tight flows.
+  DumbbellScenario sc(congested_config(3));
+  const auto idx = sc.add_flow({.sender = 0, .service = 0, .bytes = 100'000, .start = 0});
+  sc.flow(idx).sender().set_deadline(sim::seconds(10));
+  sc.add_flow({.sender = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.add_flow({.sender = 2, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(50));
+  if (sc.flow(idx).sender().stats().window_cuts > 0) {
+    EXPECT_LT(sc.flow(idx).sender().last_cut_exponent(), 1.0);
+  }
+}
+
+TEST(D2tcp, NearDeadlineFlowFinishesFasterThanFarDeadlinePeer) {
+  // Two identical flows compete; one has a tight deadline, one has slack.
+  // D2TCP should let the tight flow finish first.
+  DumbbellScenario sc(congested_config(4));
+  const auto tight =
+      sc.add_flow({.sender = 0, .service = 0, .bytes = 3'000'000, .start = 0});
+  const auto loose =
+      sc.add_flow({.sender = 1, .service = 0, .bytes = 3'000'000, .start = 0});
+  sc.flow(tight).sender().set_deadline(sim::milliseconds(4));
+  sc.flow(loose).sender().set_deadline(sim::seconds(5));
+  // Background traffic to force marks.
+  sc.add_flow({.sender = 2, .service = 0, .bytes = 0, .start = 0});
+  sc.add_flow({.sender = 3, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::seconds(1));
+  ASSERT_TRUE(sc.flow(tight).sender().complete());
+  ASSERT_TRUE(sc.flow(loose).sender().complete());
+  EXPECT_LT(sc.flow(tight).sender().completion_time(),
+            sc.flow(loose).sender().completion_time());
+}
+
+TEST(D2tcp, DisabledFlagIgnoresDeadline) {
+  auto cfg = congested_config(2);
+  cfg.transport.d2tcp_enabled = false;
+  DumbbellScenario sc(cfg);
+  const auto idx = sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0});
+  sc.flow(idx).sender().set_deadline(sim::milliseconds(1));
+  sc.add_flow({.sender = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(15));
+  EXPECT_DOUBLE_EQ(sc.flow(idx).sender().last_cut_exponent(), 1.0);
+}

@@ -1,0 +1,87 @@
+// Tests for the delayed-ACK receiver with DCTCP's two-state ECE machine.
+#include <gtest/gtest.h>
+
+#include "experiments/dumbbell.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+namespace {
+DumbbellConfig config_with_delack(std::uint32_t m, bool mark = false) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 2;
+  cfg.scheduler.kind = sched::SchedulerKind::kFifo;
+  cfg.scheduler.num_queues = 1;
+  cfg.marking.kind = mark ? ecn::MarkingKind::kPerPort : ecn::MarkingKind::kNone;
+  cfg.marking.threshold_bytes = 12 * 1500;
+  cfg.transport.delayed_ack_count = m;
+  return cfg;
+}
+}  // namespace
+
+TEST(DelayedAck, PerPacketAckIsDefault) {
+  DumbbellScenario sc(config_with_delack(1));
+  const auto idx = sc.add_flow({.sender = 0, .service = 0, .bytes = 146'000, .start = 0});
+  sc.run(sim::milliseconds(50));
+  ASSERT_TRUE(sc.flow(idx).sender().complete());
+  EXPECT_EQ(sc.flow(idx).receiver().acks_sent(),
+            sc.flow(idx).receiver().data_packets());
+}
+
+TEST(DelayedAck, HalvesAckCount) {
+  DumbbellScenario sc(config_with_delack(2));
+  const auto idx = sc.add_flow({.sender = 0, .service = 0, .bytes = 146'000, .start = 0});
+  sc.run(sim::milliseconds(50));
+  ASSERT_TRUE(sc.flow(idx).sender().complete());
+  const auto acks = sc.flow(idx).receiver().acks_sent();
+  const auto data = sc.flow(idx).receiver().data_packets();
+  EXPECT_LT(acks, data * 3 / 4);
+  EXPECT_GE(acks, data / 2);
+}
+
+TEST(DelayedAck, FlowStillCompletesWithLargeM) {
+  DumbbellScenario sc(config_with_delack(8));
+  // 3 segments < m: only the FIN flush / timer can deliver the last ACK.
+  const auto idx = sc.add_flow({.sender = 0, .service = 0, .bytes = 4'380, .start = 0});
+  sc.run(sim::milliseconds(100));
+  EXPECT_TRUE(sc.flow(idx).sender().complete());
+}
+
+TEST(DelayedAck, OddSegmentCountDoesNotStall) {
+  DumbbellScenario sc(config_with_delack(2));
+  // 7 segments: the last one is alone in its run; the delayed-ACK timer or
+  // FIN flush must cover it without waiting for an RTO.
+  const auto idx = sc.add_flow({.sender = 0, .service = 0, .bytes = 7 * 1460, .start = 0});
+  sc.run(sim::milliseconds(5));
+  EXPECT_TRUE(sc.flow(idx).sender().complete());
+  EXPECT_EQ(sc.flow(idx).sender().stats().timeouts, 0u);
+}
+
+TEST(DelayedAck, EcnFeedbackStaysExactUnderCongestion) {
+  // With the two-state machine, the total marked bytes the sender accounts
+  // must still drive alpha into a sane range and keep the buffer bounded.
+  auto cfg = config_with_delack(2, /*mark=*/true);
+  DumbbellScenario sc(cfg);
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0});
+  sc.add_flow({.sender = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(30));
+  EXPECT_GT(sc.flow(0).sender().stats().ece_acks, 0u);
+  EXPECT_GT(sc.flow(0).sender().alpha(), 0.0);
+  EXPECT_LE(sc.flow(0).sender().alpha(), 1.0);
+  EXPECT_EQ(sc.bottleneck().stats().dropped_packets, 0u);
+  EXPECT_LT(sc.bottleneck().buffered_bytes(), 60u * 1500u);
+}
+
+TEST(DelayedAck, ThroughputComparableToPerPacketAcks) {
+  auto measure = [](std::uint32_t m) {
+    DumbbellScenario sc(config_with_delack(m, /*mark=*/true));
+    const auto idx = sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0});
+    sc.run(sim::milliseconds(5));
+    const auto s = sc.flow(idx).sender().bytes_acked();
+    sc.run(sim::milliseconds(25));
+    return static_cast<double>(sc.flow(idx).sender().bytes_acked() - s);
+  };
+  const double per_packet = measure(1);
+  const double delayed = measure(2);
+  EXPECT_GT(delayed, per_packet * 0.9);
+}

@@ -1,0 +1,133 @@
+// Failure-injection tests: DCTCP must survive probabilistic loss, counted
+// loss bursts, and jitter-induced reordering without corrupting delivery.
+#include <gtest/gtest.h>
+
+#include "net/fault_injector.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "transport/dctcp.hpp"
+
+using namespace pmsb;
+using namespace pmsb::net;
+
+namespace {
+
+// Two hosts joined by direct links, with a FaultInjector on the data path.
+struct LossyPair {
+  sim::Simulator sim;
+  Host a{sim, 0, "a"};
+  Host b{sim, 1, "b"};
+  FaultInjector to_b{sim, &b};
+  Link ab{sim, sim::gbps(10), sim::microseconds(2), &to_b};
+  Link ba{sim, sim::gbps(10), sim::microseconds(2), &a};
+
+  LossyPair() {
+    a.attach_uplink(&ab);
+    b.attach_uplink(&ba);
+  }
+};
+
+}  // namespace
+
+TEST(FaultInjector, ForwardsByDefault) {
+  LossyPair net;
+  int got = 0;
+  net.b.register_flow(1, [&](Packet) { ++got; });
+  net.sim.schedule_at(0, [&] {
+    Packet p;
+    p.flow_id = 1;
+    p.dst = 1;
+    net.a.send(std::move(p));
+  });
+  net.sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net.to_b.forwarded(), 1u);
+}
+
+TEST(FaultInjector, CountedDropsDropExactly) {
+  LossyPair net;
+  int got = 0;
+  net.b.register_flow(1, [&](Packet) { ++got; });
+  net.to_b.drop_next(2);
+  net.sim.schedule_at(0, [&] {
+    for (int i = 0; i < 5; ++i) {
+      Packet p;
+      p.flow_id = 1;
+      p.dst = 1;
+      net.a.send(std::move(p));
+    }
+  });
+  net.sim.run();
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(net.to_b.dropped(), 2u);
+}
+
+TEST(FaultInjector, JitterReordersButDelivers) {
+  LossyPair net;
+  std::vector<std::uint64_t> order;
+  net.b.register_flow(1, [&](Packet p) { order.push_back(p.seq); });
+  net.to_b.set_extra_delay(sim::microseconds(1), sim::microseconds(50));
+  net.sim.schedule_at(0, [&] {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      Packet p;
+      p.flow_id = 1;
+      p.dst = 1;
+      p.seq = i;
+      p.size_bytes = 100;
+      net.a.send(std::move(p));
+    }
+  });
+  net.sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));  // reordered
+}
+
+TEST(FaultInjection, DctcpCompletesThroughOnePercentLoss) {
+  LossyPair net;
+  net.to_b.set_drop_rate(0.01);
+  transport::DctcpConfig cfg;
+  transport::Flow flow(net.sim, net.a, net.b, 1, 0, 2'000'000, cfg);
+  bool done = false;
+  flow.sender().set_completion_callback([&](sim::TimeNs) { done = true; });
+  flow.start(0);
+  net.sim.run(sim::seconds(10));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(flow.receiver().rcv_nxt(), 2'000'000u);
+  EXPECT_GT(flow.sender().stats().retransmits, 0u);
+}
+
+TEST(FaultInjection, DctcpSurvivesLossBurst) {
+  LossyPair net;
+  transport::DctcpConfig cfg;
+  transport::Flow flow(net.sim, net.a, net.b, 1, 0, 500'000, cfg);
+  flow.start(0);
+  // Kill a burst of 12 packets mid-flow.
+  net.sim.schedule_at(sim::microseconds(100), [&] { net.to_b.drop_next(12); });
+  net.sim.run(sim::seconds(10));
+  EXPECT_TRUE(flow.sender().complete());
+  EXPECT_EQ(flow.receiver().rcv_nxt(), 500'000u);
+}
+
+TEST(FaultInjection, ReorderingTriggersFastRetransmitNotCollapse) {
+  LossyPair net;
+  net.to_b.set_extra_delay(0, sim::microseconds(30));
+  transport::DctcpConfig cfg;
+  transport::Flow flow(net.sim, net.a, net.b, 1, 0, 1'000'000, cfg);
+  flow.start(0);
+  net.sim.run(sim::seconds(10));
+  ASSERT_TRUE(flow.sender().complete());
+  EXPECT_EQ(flow.receiver().rcv_nxt(), 1'000'000u);
+  // Spurious retransmits are allowed; stalls (many timeouts) are not.
+  EXPECT_LE(flow.sender().stats().timeouts, 2u);
+}
+
+TEST(FaultInjection, HeavyLossStillMakesProgress) {
+  LossyPair net;
+  net.to_b.set_drop_rate(0.05);
+  transport::DctcpConfig cfg;
+  transport::Flow flow(net.sim, net.a, net.b, 1, 0, 300'000, cfg);
+  flow.start(0);
+  net.sim.run(sim::seconds(30));
+  EXPECT_TRUE(flow.sender().complete());
+}

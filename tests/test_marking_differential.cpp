@@ -1,0 +1,117 @@
+// Differential property tests: scheme implementations that are supposed to
+// coincide on sub-domains must actually coincide, checked over thousands of
+// random buffer states.
+#include <gtest/gtest.h>
+
+#include "core/pmsb_algorithm.hpp"
+#include "ecn/mq_ecn.hpp"
+#include "ecn/per_port.hpp"
+#include "ecn/per_queue.hpp"
+#include "ecn/pmsb_marking.hpp"
+#include "ecn/red.hpp"
+#include "sim/rng.hpp"
+
+using namespace pmsb;
+using namespace pmsb::ecn;
+
+namespace {
+PortSnapshot random_snapshot(sim::Rng& rng, std::size_t queues) {
+  PortSnapshot s;
+  s.num_queues = queues;
+  s.queue = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(queues) - 1));
+  s.port_bytes = static_cast<std::uint64_t>(rng.uniform_int(0, 200'000));
+  s.queue_bytes = std::min<std::uint64_t>(
+      s.port_bytes, static_cast<std::uint64_t>(rng.uniform_int(0, 200'000)));
+  s.weight = rng.uniform(0.25, 4.0);
+  s.weight_sum = s.weight + rng.uniform(0.25, 12.0);
+  return s;
+}
+}  // namespace
+
+TEST(Differential, PmsbAdapterEqualsPureFunction) {
+  sim::Rng rng(101);
+  PmsbMarking scheme(18'000, 1.3);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto snap = random_snapshot(rng, 8);
+    EXPECT_EQ(scheme.should_mark(snap, {}, MarkPoint::kEnqueue, i),
+              core::pmsb_should_mark(snap.port_bytes, 18'000, snap.queue_bytes,
+                                     snap.weight, snap.weight_sum, 1.3))
+        << "iteration " << i;
+  }
+}
+
+TEST(Differential, PmsbSingleQueueEqualsPerPort) {
+  sim::Rng rng(102);
+  PmsbMarking pmsb(24'000);
+  PerPortMarking perport(24'000);
+  for (int i = 0; i < 20'000; ++i) {
+    auto snap = random_snapshot(rng, 1);
+    snap.queue = 0;
+    snap.weight = 1.0;
+    snap.weight_sum = 1.0;
+    snap.queue_bytes = snap.port_bytes;  // single queue holds everything
+    EXPECT_EQ(pmsb.should_mark(snap, {}, MarkPoint::kEnqueue, i),
+              perport.should_mark(snap, {}, MarkPoint::kEnqueue, i));
+  }
+}
+
+TEST(Differential, MqEcnWithoutRoundsEqualsPerQueueStandard) {
+  sim::Rng rng(103);
+  MqEcnConfig mc;
+  mc.quantum_bytes = {1500.0, 1500.0};
+  mc.capacity = sim::gbps(10);
+  mc.rtt = sim::microseconds(80);
+  mc.lambda = 1.0;
+  MqEcnMarking mqecn(std::move(mc));  // never fed a round sample
+  const std::uint64_t k = 100'000;    // C * RTT * lambda
+  PerQueueMarking perqueue(PerQueueMarking::standard_thresholds(2, k));
+  for (int i = 0; i < 20'000; ++i) {
+    const auto snap = random_snapshot(rng, 2);
+    EXPECT_EQ(mqecn.should_mark(snap, {}, MarkPoint::kEnqueue, i),
+              perqueue.should_mark(snap, {}, MarkPoint::kEnqueue, i));
+  }
+}
+
+TEST(Differential, RedDegenerateEqualsPerQueueStandard) {
+  sim::Rng rng(104);
+  RedMarking red({.min_threshold_bytes = 30'000, .max_threshold_bytes = 30'000});
+  PerQueueMarking perqueue(PerQueueMarking::standard_thresholds(4, 30'000));
+  for (int i = 0; i < 20'000; ++i) {
+    const auto snap = random_snapshot(rng, 4);
+    EXPECT_EQ(red.should_mark(snap, {}, MarkPoint::kEnqueue, i),
+              perqueue.should_mark(snap, {}, MarkPoint::kEnqueue, i));
+  }
+}
+
+TEST(Differential, PmsbIsMonotoneInQueueLength) {
+  // For fixed port state, marking must be monotone: if a queue length marks,
+  // any longer queue also marks.
+  PmsbMarking scheme(18'000);
+  PortSnapshot snap;
+  snap.port_bytes = 30'000;
+  snap.weight = 1.0;
+  snap.weight_sum = 3.0;
+  bool prev = false;
+  for (std::uint64_t q = 0; q <= 30'000; q += 500) {
+    snap.queue_bytes = q;
+    const bool mark = scheme.should_mark(snap, {}, MarkPoint::kEnqueue, 0);
+    EXPECT_TRUE(!prev || mark) << "non-monotone at " << q;
+    prev = mark;
+  }
+}
+
+TEST(Differential, PmsbIsMonotoneInPortLength) {
+  PmsbMarking scheme(18'000);
+  PortSnapshot snap;
+  snap.queue_bytes = 10'000;
+  snap.weight = 1.0;
+  snap.weight_sum = 2.0;
+  bool prev = false;
+  for (std::uint64_t p = 0; p <= 60'000; p += 500) {
+    snap.port_bytes = p;
+    const bool mark = scheme.should_mark(snap, {}, MarkPoint::kEnqueue, 0);
+    EXPECT_TRUE(!prev || mark) << "non-monotone at " << p;
+    prev = mark;
+  }
+}

@@ -1,0 +1,131 @@
+// Tests for the PMSB(e) end-host rule wired into the DCTCP sender
+// (Algorithm 2 in the transport): marks are ignored while the flow's RTT is
+// below the threshold, accepted above it.
+#include <gtest/gtest.h>
+
+#include "experiments/dumbbell.hpp"
+#include "experiments/presets.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+namespace {
+DumbbellConfig perport_config(std::size_t senders, std::size_t queues) {
+  DumbbellConfig cfg;
+  cfg.num_senders = senders;
+  cfg.link_rate = sim::gbps(10);
+  cfg.link_delay = sim::microseconds(2);
+  cfg.scheduler.kind = sched::SchedulerKind::kDwrr;
+  cfg.scheduler.num_queues = queues;
+  cfg.scheduler.weights.assign(queues, 1.0);
+  cfg.marking.kind = ecn::MarkingKind::kPerPort;
+  cfg.marking.threshold_bytes = 12 * 1500;
+  cfg.marking.weights = cfg.scheduler.weights;
+  return cfg;
+}
+}  // namespace
+
+TEST(PmsbeTransport, HugeThresholdIgnoresEveryMark) {
+  // rtt_threshold far above any achievable RTT: every ECE must be ignored,
+  // so the flow never cuts its window on ECN.
+  auto cfg = perport_config(2, 1);
+  DumbbellScenario sc(cfg);
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0,
+               .pmsbe = true, .pmsbe_rtt_threshold = sim::seconds(1)});
+  sc.add_flow({.sender = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(15));
+  const auto& st = sc.flow(0).sender().stats();
+  EXPECT_GT(st.ece_acks, 0u);
+  EXPECT_EQ(st.ece_ignored, st.ece_acks);
+  EXPECT_EQ(st.window_cuts, 0u);
+}
+
+TEST(PmsbeTransport, ZeroThresholdAcceptsEveryMark) {
+  auto cfg = perport_config(2, 1);
+  DumbbellScenario sc(cfg);
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0,
+               .pmsbe = true, .pmsbe_rtt_threshold = 0});
+  sc.add_flow({.sender = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(15));
+  const auto& st = sc.flow(0).sender().stats();
+  EXPECT_GT(st.ece_acks, 0u);
+  EXPECT_EQ(st.ece_ignored, 0u);
+  EXPECT_GT(st.window_cuts, 0u);
+}
+
+TEST(PmsbeTransport, VictimFlowProtectedFromPerPortMarking) {
+  // The paper's Fig. 3 setup with PMSB(e): queue 0 has 1 flow, queue 1 has
+  // 8 flows; per-port marking alone starves queue 0, but PMSB(e) senders
+  // restore the 1:1 weighted share.
+  auto cfg = perport_config(9, 2);
+  DumbbellScenario sc(cfg);
+  SchemeParams params;
+  params.capacity = cfg.link_rate;
+  params.rtt = sim::microseconds(18);
+  const sim::TimeNs rtt_threshold =
+      pmsbe_rtt_threshold(params, /*base_rtt=*/sim::microseconds(11));
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0,
+               .pmsbe = true, .pmsbe_rtt_threshold = rtt_threshold});
+  for (std::size_t i = 1; i < 9; ++i) {
+    sc.add_flow({.sender = i, .service = 1, .bytes = 0, .start = 0,
+                 .pmsbe = true, .pmsbe_rtt_threshold = rtt_threshold});
+  }
+  sc.run(sim::milliseconds(10));
+  const auto q0 = sc.served_bytes(0);
+  const auto q1 = sc.served_bytes(1);
+  sc.run(sim::milliseconds(60));
+  const double r0 = static_cast<double>(sc.served_bytes(0) - q0);
+  const double r1 = static_cast<double>(sc.served_bytes(1) - q1);
+  // Weighted fair sharing 1:1 within 20%.
+  EXPECT_NEAR(r0 / (r0 + r1), 0.5, 0.1);
+  // And the victim flow did ignore marks.
+  EXPECT_GT(sc.flow(0).sender().stats().ece_ignored, 0u);
+}
+
+TEST(PmsbeTransport, DisabledFlowsNeverIgnore) {
+  auto cfg = perport_config(2, 1);
+  DumbbellScenario sc(cfg);
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0});
+  sc.add_flow({.sender = 1, .service = 0, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(10));
+  EXPECT_EQ(sc.flow(0).sender().stats().ece_ignored, 0u);
+}
+
+TEST(PmsbeTransport, CoexistsWithPlainDctcp) {
+  // §V: PMSB(e) "can coexist with other ECN-based transports like DCTCP".
+  // Half the senders run PMSB(e), half plain DCTCP, all in one queue: the
+  // link stays saturated, nobody collapses, and no drops occur.
+  auto cfg = perport_config(4, 1);
+  DumbbellScenario sc(cfg);
+  for (std::size_t i = 0; i < 2; ++i) {
+    sc.add_flow({.sender = i, .service = 0, .bytes = 0, .start = 0,
+                 .pmsbe = true, .pmsbe_rtt_threshold = sim::microseconds(14)});
+  }
+  for (std::size_t i = 2; i < 4; ++i) {
+    sc.add_flow({.sender = i, .service = 0, .bytes = 0, .start = 0});
+  }
+  sc.run(sim::milliseconds(10));
+  std::vector<std::uint64_t> acked(4);
+  for (std::size_t f = 0; f < 4; ++f) acked[f] = sc.flow(f).sender().bytes_acked();
+  sc.run(sim::milliseconds(60));
+  double total = 0;
+  for (std::size_t f = 0; f < 4; ++f) {
+    const double got = static_cast<double>(sc.flow(f).sender().bytes_acked() - acked[f]);
+    EXPECT_GT(got, 0.0) << "flow " << f << " starved";
+    total += got;
+  }
+  const double gbps = total * 8.0 / static_cast<double>(sim::milliseconds(50));
+  EXPECT_GT(gbps, 8.5);
+  EXPECT_EQ(sc.bottleneck().stats().dropped_packets, 0u);
+}
+
+TEST(PmsbeTransport, PresetRttThresholdFormula) {
+  // Threshold = base RTT + drain time of the port threshold.
+  SchemeParams p;
+  p.capacity = sim::gbps(10);
+  p.rtt = sim::microseconds_f(85.2);
+  // C*RTT = 71 pkts -> port threshold = ceil(10.15)+1 = 12 pkts = 14.4 us.
+  EXPECT_EQ(pmsb_port_threshold_bytes(p), 12u * 1500u);
+  const auto thr = pmsbe_rtt_threshold(p, sim::microseconds_f(70.8));
+  EXPECT_NEAR(sim::to_microseconds(thr), 85.2, 0.5);
+}

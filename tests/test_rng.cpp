@@ -1,0 +1,74 @@
+// Tests for deterministic RNG streams.
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+using namespace pmsb::sim;
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(7), b(7);
+  Rng fa = a.fork("workload");
+  Rng fb = b.fork("workload");
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+}
+
+TEST(Rng, ForkIndependentOfDrawCount) {
+  Rng a(7), b(7);
+  (void)a.uniform();
+  (void)a.uniform();
+  Rng fa = a.fork("x");
+  Rng fb = b.fork("x");
+  EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+}
+
+TEST(Rng, NamedForksDiffer) {
+  Rng a(7);
+  Rng f1 = a.fork("one");
+  Rng f2 = a.fork("two");
+  EXPECT_NE(f1.uniform(), f2.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(5.0, 10.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanApproximates) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}

@@ -1,0 +1,126 @@
+// Unit tests for WFQ (SCFQ) and the hierarchical SP+WFQ scheduler.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/hierarchical.hpp"
+#include "sched/wfq.hpp"
+
+using namespace pmsb;
+using namespace pmsb::sched;
+
+namespace {
+Packet pkt(std::uint32_t size = 1500) {
+  Packet p;
+  p.size_bytes = size;
+  return p;
+}
+}  // namespace
+
+TEST(Wfq, NotRoundBased) {
+  WfqScheduler s(2);
+  EXPECT_FALSE(s.round_based());
+}
+
+TEST(Wfq, EqualWeightsShareEvenly) {
+  WfqScheduler s(2, {1.0, 1.0});
+  for (int i = 0; i < 1000; ++i) {
+    s.enqueue(0, pkt());
+    s.enqueue(1, pkt());
+  }
+  for (int i = 0; i < 1000; ++i) (void)s.dequeue(0);
+  EXPECT_NEAR(static_cast<double>(s.served_bytes(0)) / s.served_bytes(1), 1.0, 0.05);
+}
+
+TEST(Wfq, WeightedShare3To1) {
+  WfqScheduler s(2, {3.0, 1.0});
+  for (int i = 0; i < 2000; ++i) {
+    s.enqueue(0, pkt());
+    s.enqueue(1, pkt());
+  }
+  for (int i = 0; i < 1000; ++i) (void)s.dequeue(0);
+  EXPECT_NEAR(static_cast<double>(s.served_bytes(0)) / s.served_bytes(1), 3.0, 0.3);
+}
+
+TEST(Wfq, ByteFairnessWithMixedPacketSizes) {
+  WfqScheduler s(2, {1.0, 1.0});
+  for (int i = 0; i < 3000; ++i) s.enqueue(0, pkt(500));
+  for (int i = 0; i < 1000; ++i) s.enqueue(1, pkt(1500));
+  for (int i = 0; i < 2000; ++i) (void)s.dequeue(0);
+  EXPECT_NEAR(static_cast<double>(s.served_bytes(0)) / s.served_bytes(1), 1.0, 0.1);
+}
+
+TEST(Wfq, IdleQueueDoesNotAccumulateCredit) {
+  // Queue 1 is idle while queue 0 is served; when queue 1 wakes it must not
+  // monopolise the link to "catch up" (SCFQ start tag = max(V, F_prev)).
+  WfqScheduler s(2, {1.0, 1.0});
+  for (int i = 0; i < 100; ++i) s.enqueue(0, pkt());
+  for (int i = 0; i < 50; ++i) (void)s.dequeue(0);
+  // Now queue 1 arrives with a burst.
+  for (int i = 0; i < 100; ++i) s.enqueue(1, pkt());
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50; ++i) ++counts[s.dequeue(0)->queue];
+  // Fair interleave from here on, not a queue-1 monopoly.
+  EXPECT_NEAR(counts[0], 25, 3);
+  EXPECT_NEAR(counts[1], 25, 3);
+}
+
+TEST(Wfq, VirtualTimeResetsWhenIdle) {
+  WfqScheduler s(2, {1.0, 1.0});
+  for (int i = 0; i < 10; ++i) s.enqueue(0, pkt());
+  for (int i = 0; i < 10; ++i) (void)s.dequeue(0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.virtual_time(), 0.0);
+}
+
+TEST(SpWfq, GroupSizeMismatchThrows) {
+  EXPECT_THROW(SpWfqScheduler(3, {0, 0}, {}), std::invalid_argument);
+}
+
+TEST(SpWfq, StrictPriorityAcrossGroups) {
+  // Queue 0 in group 0 (high), queues 1-2 in group 1.
+  SpWfqScheduler s(3, {0, 1, 1}, {1.0, 1.0, 1.0});
+  s.enqueue(1, pkt());
+  s.enqueue(2, pkt());
+  s.enqueue(0, pkt());
+  EXPECT_EQ(s.dequeue(0)->queue, 0u);
+}
+
+TEST(SpWfq, FairWithinLowGroup) {
+  SpWfqScheduler s(3, {0, 1, 1}, {1.0, 1.0, 1.0});
+  for (int i = 0; i < 500; ++i) {
+    s.enqueue(1, pkt());
+    s.enqueue(2, pkt());
+  }
+  for (int i = 0; i < 500; ++i) (void)s.dequeue(0);
+  EXPECT_NEAR(static_cast<double>(s.served_bytes(1)) / s.served_bytes(2), 1.0, 0.05);
+}
+
+TEST(SpWfq, HighGroupPreemptsBetweenPackets) {
+  SpWfqScheduler s(3, {0, 1, 1}, {1.0, 1.0, 1.0});
+  for (int i = 0; i < 10; ++i) s.enqueue(1, pkt());
+  EXPECT_EQ(s.dequeue(0)->queue, 1u);
+  s.enqueue(0, pkt());  // high-priority packet arrives mid-backlog
+  EXPECT_EQ(s.dequeue(0)->queue, 0u);
+  EXPECT_EQ(s.dequeue(0)->queue, 1u);
+}
+
+TEST(SpWfq, DegeneratesToSpWithSingletonGroups) {
+  SpWfqScheduler s(3, {0, 1, 2}, {1.0, 1.0, 1.0});
+  s.enqueue(2, pkt());
+  s.enqueue(1, pkt());
+  s.enqueue(0, pkt());
+  EXPECT_EQ(s.dequeue(0)->queue, 0u);
+  EXPECT_EQ(s.dequeue(0)->queue, 1u);
+  EXPECT_EQ(s.dequeue(0)->queue, 2u);
+}
+
+TEST(SpWfq, DegeneratesToWfqWithOneGroup) {
+  SpWfqScheduler s(2, {0, 0}, {1.0, 3.0});
+  for (int i = 0; i < 2000; ++i) {
+    s.enqueue(0, pkt());
+    s.enqueue(1, pkt());
+  }
+  for (int i = 0; i < 1000; ++i) (void)s.dequeue(0);
+  EXPECT_NEAR(static_cast<double>(s.served_bytes(1)) / s.served_bytes(0), 3.0, 0.3);
+}

@@ -1,0 +1,183 @@
+// Unit tests for the discrete-event kernel: ordering, ties, cancellation,
+// re-entrancy, run-until semantics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+using namespace pmsb::sim;
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesDuringCallback) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.schedule_at(42, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.schedule_at(10, [&] { sim.schedule_in(5, [&] { seen = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(100, [&] {
+    EXPECT_THROW(sim.schedule_at(50, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, CancelInvalidIdIsNoop) {
+  Simulator sim;
+  sim.cancel(kInvalidEventId);
+  sim.cancel(9999);
+  bool fired = false;
+  sim.schedule_at(1, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] { ++count; });
+  sim.schedule_at(100, [&] { ++count; });
+  sim.run(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run(200);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilClampsTimeWhenQueueOutlivesDeadline) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run(40);
+  EXPECT_EQ(sim.now(), 40);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, StopRequestHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(20, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ReentrantSchedulingFromCallback) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulator, ExecutedEventCounterTracksWork) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    sim.schedule_in(0, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(10, [&] { order.push_back(3); });
+  sim.run();
+  // The zero-delay event was scheduled later, so it runs after the tie.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  TimeNs last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule_at((i * 7919) % 1000, [&, t = (i * 7919) % 1000] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+}

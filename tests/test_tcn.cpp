@@ -1,0 +1,64 @@
+// Unit tests for TCN sojourn-time marking (Eq. 4).
+#include <gtest/gtest.h>
+
+#include "ecn/tcn.hpp"
+
+using namespace pmsb;
+using namespace pmsb::ecn;
+
+namespace {
+net::Packet pkt_enqueued_at(sim::TimeNs t) {
+  net::Packet p;
+  p.enqueue_time = t;
+  return p;
+}
+}  // namespace
+
+TEST(Tcn, NeverMarksAtEnqueue) {
+  TcnMarking m(sim::microseconds(10));
+  // Even an ancient packet is not judged at enqueue time.
+  EXPECT_FALSE(m.should_mark({}, pkt_enqueued_at(0), MarkPoint::kEnqueue,
+                             sim::seconds(1)));
+}
+
+TEST(Tcn, MarksWhenSojournExceedsThreshold) {
+  TcnMarking m(sim::microseconds(10));
+  EXPECT_TRUE(m.should_mark({}, pkt_enqueued_at(0), MarkPoint::kDequeue,
+                            sim::microseconds(11)));
+}
+
+TEST(Tcn, NoMarkAtOrBelowThreshold) {
+  TcnMarking m(sim::microseconds(10));
+  EXPECT_FALSE(m.should_mark({}, pkt_enqueued_at(0), MarkPoint::kDequeue,
+                             sim::microseconds(10)));
+  EXPECT_FALSE(m.should_mark({}, pkt_enqueued_at(0), MarkPoint::kDequeue,
+                             sim::microseconds(5)));
+}
+
+TEST(Tcn, SojournIsRelativeToEnqueueTime) {
+  TcnMarking m(sim::microseconds(10));
+  EXPECT_FALSE(m.should_mark({}, pkt_enqueued_at(sim::microseconds(100)),
+                             MarkPoint::kDequeue, sim::microseconds(105)));
+  EXPECT_TRUE(m.should_mark({}, pkt_enqueued_at(sim::microseconds(100)),
+                            MarkPoint::kDequeue, sim::microseconds(111)));
+}
+
+TEST(Tcn, IgnoresBufferOccupancyEntirely) {
+  TcnMarking m(sim::microseconds(10));
+  PortSnapshot huge;
+  huge.port_bytes = 1u << 30;
+  huge.queue_bytes = 1u << 30;
+  // Duration-based: a fresh packet in a giant buffer is not marked.
+  EXPECT_FALSE(m.should_mark(huge, pkt_enqueued_at(sim::microseconds(99)),
+                             MarkPoint::kDequeue, sim::microseconds(100)));
+}
+
+TEST(Tcn, PaperParameterisation) {
+  // §II.C pairs DCTCP's K=16 packets with a 19.2 us TCN threshold. (The
+  // paper says "1 Gbps" but 16 x 1502 B drain in 19.2 us only at 10 Gbps —
+  // the equivalence itself, T_k = K / C, is what matters.)
+  const sim::TimeNs tk = sim::serialization_delay(16 * 1500, sim::gbps(10));
+  EXPECT_NEAR(sim::to_microseconds(tk), 19.2, 0.1);
+  TcnMarking m(tk);
+  EXPECT_EQ(m.sojourn_threshold(), tk);
+}

@@ -1,0 +1,179 @@
+// Tests for flow-size distributions and the Poisson traffic generator.
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "stats/fct.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace pmsb;
+using namespace pmsb::workload;
+
+TEST(SizeDist, RejectsBadCdfs) {
+  using P = FlowSizeDistribution::CdfPoint;
+  EXPECT_THROW(FlowSizeDistribution("x", {P{100, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(FlowSizeDistribution("x", {P{100, 0.5}, P{50, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FlowSizeDistribution("x", {P{100, 0.5}, P{200, 0.4}}),
+               std::invalid_argument);
+  EXPECT_THROW(FlowSizeDistribution("x", {P{100, 0.0}, P{200, 0.9}}),
+               std::invalid_argument);
+}
+
+TEST(SizeDist, SamplesWithinSupport) {
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = d.sample(rng);
+    EXPECT_GE(s, d.points().front().bytes);
+    EXPECT_LE(s, d.points().back().bytes);
+  }
+}
+
+TEST(SizeDist, PaperMixProportions) {
+  // 60% small (<100 kB), 10% large (>10 MB) — §VI.B.
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(2);
+  int small = 0, large = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = d.sample(rng);
+    if (stats::size_bin(s) == stats::SizeBin::kSmall) ++small;
+    if (stats::size_bin(s) == stats::SizeBin::kLarge) ++large;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / n, 0.60, 0.02);
+  EXPECT_NEAR(static_cast<double>(large) / n, 0.10, 0.01);
+}
+
+TEST(SizeDist, EmpiricalMeanMatchesAnalyticMean) {
+  for (const auto* name : {"paper-mix", "web-search", "data-mining"}) {
+    auto d = FlowSizeDistribution::by_name(name);
+    sim::Rng rng(3);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+    EXPECT_NEAR(sum / n / d.mean_bytes(), 1.0, 0.03) << name;
+  }
+}
+
+TEST(SizeDist, CdfRoundTrip) {
+  auto d = FlowSizeDistribution::web_search();
+  EXPECT_DOUBLE_EQ(d.cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(40'000'000), 1.0);
+  EXPECT_NEAR(d.cdf(2'000'000), 0.80, 1e-9);
+  EXPECT_GT(d.cdf(1'000'000), d.cdf(100'000));
+}
+
+TEST(SizeDist, FixedIsDeterministic) {
+  auto d = FlowSizeDistribution::fixed(12345);
+  sim::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = d.sample(rng);
+    EXPECT_GE(s, 12345u);
+    EXPECT_LE(s, 12346u);
+  }
+}
+
+TEST(SizeDist, ByNameThrowsOnUnknown) {
+  EXPECT_THROW(FlowSizeDistribution::by_name("nope"), std::invalid_argument);
+}
+
+TEST(TrafficGen, GeneratesRequestedCount) {
+  TrafficConfig cfg;
+  cfg.num_flows = 500;
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(5);
+  const auto flows = generate_poisson_traffic(cfg, d, rng);
+  EXPECT_EQ(flows.size(), 500u);
+}
+
+TEST(TrafficGen, ArrivalsAreMonotoneAndAfterStart) {
+  TrafficConfig cfg;
+  cfg.num_flows = 300;
+  cfg.start_after = sim::milliseconds(1);
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(6);
+  const auto flows = generate_poisson_traffic(cfg, d, rng);
+  sim::TimeNs prev = cfg.start_after;
+  for (const auto& f : flows) {
+    EXPECT_GE(f.start, prev);
+    prev = f.start;
+  }
+}
+
+TEST(TrafficGen, SrcNeverEqualsDst) {
+  TrafficConfig cfg;
+  cfg.num_flows = 1000;
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(7);
+  for (const auto& f : generate_poisson_traffic(cfg, d, rng)) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_LT(f.src, cfg.num_hosts);
+    EXPECT_LT(f.dst, cfg.num_hosts);
+  }
+}
+
+TEST(TrafficGen, ServicesAssignedEvenly) {
+  TrafficConfig cfg;
+  cfg.num_flows = 800;
+  cfg.num_services = 8;
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(8);
+  std::vector<int> counts(8, 0);
+  for (const auto& f : generate_poisson_traffic(cfg, d, rng)) ++counts[f.service];
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(TrafficGen, MeanArrivalRateMatchesLoad) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 48;
+  cfg.load = 0.5;
+  cfg.edge_rate = sim::gbps(10);
+  cfg.num_flows = 20000;
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(9);
+  const auto flows = generate_poisson_traffic(cfg, d, rng);
+  const double duration_s = sim::to_seconds(flows.back().start);
+  const double measured_rate = static_cast<double>(flows.size()) / duration_s;
+  EXPECT_NEAR(measured_rate / poisson_arrival_rate(cfg, d), 1.0, 0.05);
+}
+
+TEST(TrafficGen, InterRackOnlyRespectsRacks) {
+  TrafficConfig cfg;
+  cfg.num_flows = 500;
+  cfg.rack_local_allowed = false;
+  cfg.hosts_per_rack = 12;
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(10);
+  for (const auto& f : generate_poisson_traffic(cfg, d, rng)) {
+    EXPECT_NE(f.src / 12, f.dst / 12);
+  }
+}
+
+TEST(TrafficGen, HigherLoadPacksArrivalsTighter) {
+  auto d = FlowSizeDistribution::paper_mix();
+  TrafficConfig lo;
+  lo.load = 0.2;
+  lo.num_flows = 2000;
+  TrafficConfig hi = lo;
+  hi.load = 0.8;
+  sim::Rng r1(11), r2(11);
+  const auto flows_lo = generate_poisson_traffic(lo, d, r1);
+  const auto flows_hi = generate_poisson_traffic(hi, d, r2);
+  EXPECT_GT(flows_lo.back().start, flows_hi.back().start * 3);
+}
+
+TEST(TrafficGen, DeterministicGivenSeed) {
+  auto d = FlowSizeDistribution::paper_mix();
+  TrafficConfig cfg;
+  cfg.num_flows = 100;
+  sim::Rng r1(42), r2(42);
+  const auto a = generate_poisson_traffic(cfg, d, r1);
+  const auto b = generate_poisson_traffic(cfg, d, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}

@@ -1,0 +1,200 @@
+// pmsbsim — run PMSB experiments from the command line.
+//
+// Examples:
+//   pmsbsim topology=dumbbell scheduler=dwrr queues=2 weights=1,1 \
+//           scheme=pmsb flows_per_queue=1,8 duration_ms=50
+//   pmsbsim topology=leafspine scheme=tcn scheduler=wfq load=0.6 flows=400 \
+//           seed=3 fct_csv=/tmp/fct.csv
+//   pmsbsim --config experiment.conf scheme=pmsbe   # file + overrides
+//
+// Common keys:
+//   topology   dumbbell | leafspine                (default dumbbell)
+//   scheme     pmsb | pmsbe | mq-ecn | tcn | perport | perqueue-std |
+//              perqueue-frac | red | none          (default pmsb)
+//   scheduler  fifo | sp | wrr | dwrr | wfq | sp+wfq (default dwrr)
+//   queues     number of service queues            (default 2 / 8)
+//   weights    comma list, one per queue           (default all 1)
+//   rtt_us     RTT used in the threshold formulas  (default 18 / 85.2)
+//   mark_point enqueue | dequeue                   (default enqueue)
+// Dumbbell keys: flows_per_queue (e.g. "1,8"), duration_ms, link_gbps,
+//                link_delay_us
+// Leaf-spine keys: load, flows, seed, workload (paper-mix | web-search |
+//                data-mining), fct_csv (path to dump per-flow records)
+#include <cstdio>
+#include <stdexcept>
+
+#include "experiments/dumbbell.hpp"
+#include "experiments/leafspine.hpp"
+#include "experiments/options.hpp"
+#include "experiments/presets.hpp"
+#include "sim/rng.hpp"
+#include "stats/csv.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace pmsb;
+using namespace pmsb::experiments;
+
+namespace {
+
+Scheme parse_scheme(const std::string& s) {
+  if (s == "pmsb") return Scheme::kPmsb;
+  if (s == "pmsbe" || s == "pmsb(e)") return Scheme::kPmsbE;
+  if (s == "mq-ecn" || s == "mqecn") return Scheme::kMqEcn;
+  if (s == "tcn") return Scheme::kTcn;
+  if (s == "perport") return Scheme::kPerPort;
+  if (s == "perqueue-std" || s == "perqueue") return Scheme::kPerQueueStd;
+  if (s == "perqueue-frac") return Scheme::kPerQueueFrac;
+  if (s == "none") return Scheme::kNone;
+  throw std::invalid_argument("unknown scheme: " + s);
+}
+
+int run_dumbbell(const Options& opts) {
+  DumbbellConfig cfg;
+  const auto queues = static_cast<std::size_t>(opts.get_int("queues", 2));
+  cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
+  cfg.scheduler.num_queues = queues;
+  cfg.scheduler.weights = opts.get_double_list("weights");
+  if (cfg.scheduler.weights.empty()) cfg.scheduler.weights.assign(queues, 1.0);
+  cfg.link_rate = sim::gbps(static_cast<std::uint64_t>(opts.get_int("link_gbps", 10)));
+  cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 2.0));
+
+  auto flows_per_queue = opts.get_double_list("flows_per_queue");
+  if (flows_per_queue.empty()) flows_per_queue.assign(queues, 1.0);
+  if (flows_per_queue.size() != queues) {
+    throw std::invalid_argument("flows_per_queue must have one entry per queue");
+  }
+  std::size_t total_flows = 0;
+  for (double f : flows_per_queue) total_flows += static_cast<std::size_t>(f);
+  cfg.num_senders = total_flows;
+
+  const Scheme scheme = parse_scheme(opts.get("scheme", "pmsb"));
+  SchemeParams params;
+  params.capacity = cfg.link_rate;
+  params.rtt = sim::microseconds_f(opts.get_double("rtt_us", 18.0));
+  params.weights = cfg.scheduler.weights;
+  params.point = opts.get("mark_point", "enqueue") == "dequeue"
+                     ? ecn::MarkPoint::kDequeue
+                     : ecn::MarkPoint::kEnqueue;
+  cfg.marking = make_scheme_marking(scheme, params);
+
+  DumbbellScenario sc(cfg);
+  apply_scheme_transport(scheme, params, sc.base_rtt(), cfg.transport);
+
+  stats::Summary rtt;
+  std::size_t sender = 0;
+  for (std::size_t q = 0; q < queues; ++q) {
+    for (std::size_t f = 0; f < static_cast<std::size_t>(flows_per_queue[q]); ++f) {
+      const auto idx = sc.add_flow(
+          {.sender = sender++, .service = static_cast<net::ServiceId>(q),
+           .bytes = 0, .start = 0,
+           .pmsbe = cfg.transport.pmsbe_enabled,
+           .pmsbe_rtt_threshold = cfg.transport.pmsbe_rtt_threshold});
+      sc.flow(idx).sender().set_rtt_observer([&rtt, &sc](sim::TimeNs t) {
+        if (sc.simulator().now() > sim::milliseconds(5)) {
+          rtt.add(sim::to_microseconds(t));
+        }
+      });
+    }
+  }
+
+  const auto duration = sim::milliseconds(opts.get_int("duration_ms", 50));
+  sc.run(sim::milliseconds(10));
+  std::vector<std::uint64_t> start(queues);
+  for (std::size_t q = 0; q < queues; ++q) start[q] = sc.served_bytes(q);
+  sc.run(sim::milliseconds(10) + duration);
+
+  std::printf("dumbbell: %s + %s, %zu queues, %zu flows\n",
+              scheme_name(scheme).c_str(), sc.bottleneck().scheduler().name().c_str(),
+              queues, total_flows);
+  stats::Table table({"queue", "flows", "tput(Gbps)"});
+  for (std::size_t q = 0; q < queues; ++q) {
+    const double gbps = static_cast<double>(sc.served_bytes(q) - start[q]) * 8.0 /
+                        static_cast<double>(duration);
+    table.add_row({std::to_string(q), stats::Table::num(flows_per_queue[q], 0),
+                   stats::Table::num(gbps)});
+  }
+  table.print();
+  std::printf("rtt avg/p99: %.1f / %.1f us; marks: %llu; drops: %llu\n", rtt.mean(),
+              rtt.percentile(99),
+              static_cast<unsigned long long>(sc.bottleneck().stats().marked_enqueue +
+                                              sc.bottleneck().stats().marked_dequeue),
+              static_cast<unsigned long long>(sc.bottleneck().stats().dropped_packets));
+  return 0;
+}
+
+int run_leafspine(const Options& opts) {
+  LeafSpineConfig cfg;
+  cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 9.0));
+  cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
+  const auto queues = static_cast<std::size_t>(opts.get_int("queues", 8));
+  cfg.scheduler.num_queues = queues;
+  cfg.scheduler.weights.assign(queues, 1.0);
+  cfg.buffer_bytes = 2048ull * 1500ull;
+
+  const Scheme scheme = parse_scheme(opts.get("scheme", "pmsb"));
+  SchemeParams params;
+  params.capacity = cfg.link_rate;
+  params.rtt = sim::microseconds_f(opts.get_double("rtt_us", 85.2));
+  params.weights = cfg.scheduler.weights;
+  cfg.marking = make_scheme_marking(scheme, params);
+  cfg.transport.init_cwnd_segments = 16;
+  const sim::TimeNs base_rtt =
+      4 * sim::serialization_delay(sim::kDefaultMtuBytes, cfg.link_rate) +
+      4 * sim::serialization_delay(net::kAckBytes, cfg.link_rate) +
+      8 * cfg.link_delay;
+  apply_scheme_transport(scheme, params, base_rtt, cfg.transport);
+
+  LeafSpineScenario sc(cfg);
+  workload::TrafficConfig tc;
+  tc.num_hosts = sc.num_hosts();
+  tc.load = opts.get_double("load", 0.5);
+  tc.num_flows = static_cast<std::size_t>(opts.get_int("flows", 300));
+  tc.num_services = static_cast<std::uint8_t>(queues);
+  const auto dist =
+      workload::FlowSizeDistribution::by_name(opts.get("workload", "paper-mix"));
+  sim::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  sc.add_workload(workload::generate_poisson_traffic(tc, dist, rng));
+
+  const bool done = sc.run_until_complete(sim::seconds(opts.get_int("max_sim_s", 60)));
+  std::printf("leafspine: %s + %s, load %.2f, %zu/%zu flows done%s\n",
+              scheme_name(scheme).c_str(),
+              sched::scheduler_kind_name(cfg.scheduler.kind).c_str(), tc.load,
+              sc.completed_flows(), sc.total_flows(), done ? "" : " (TIME CAP HIT)");
+
+  stats::Table table({"bin", "count", "avg(us)", "p95(us)", "p99(us)"});
+  auto add = [&](const char* name, const stats::Summary& s) {
+    table.add_row({name, std::to_string(s.count()), stats::Table::num(s.mean(), 0),
+                   stats::Table::num(s.percentile(95), 0),
+                   stats::Table::num(s.percentile(99), 0)});
+  };
+  add("small", sc.fct().fct_us(stats::SizeBin::kSmall));
+  add("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
+  add("large", sc.fct().fct_us(stats::SizeBin::kLarge));
+  add("overall", sc.fct().overall_fct_us());
+  table.print();
+
+  if (opts.has("fct_csv")) {
+    stats::write_fct_csv(opts.get("fct_csv"), sc.fct());
+    std::printf("wrote %s\n", opts.get("fct_csv").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opts = Options::from_args(argc, argv);
+    const std::string topology = opts.get("topology", "dumbbell");
+    if (topology == "dumbbell") return run_dumbbell(opts);
+    if (topology == "leafspine") return run_leafspine(opts);
+    std::fprintf(stderr, "unknown topology '%s'\n", topology.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmsbsim: %s\n", e.what());
+    return 2;
+  }
+}
