@@ -15,6 +15,7 @@
 #include "experiments/presets.hpp"
 #include "sim/units.hpp"
 #include "stats/table.hpp"
+#include "telemetry/run_report.hpp"
 
 namespace pmsb::bench {
 
@@ -37,6 +38,40 @@ inline void print_header(const char* figure, const char* setup,
   std::printf("  scale:  %s\n", full_scale() ? "full" : "quick");
   std::printf("==============================================================\n");
 }
+
+/// Optional machine-readable bench output: when PMSB_BENCH_MANIFEST_DIR is
+/// set, write() drops a pmsb.run_manifest/1 JSON at <dir>/<name>.json with
+/// whatever scalar results the bench recorded; otherwise everything is a
+/// no-op and the bench stays print-only.
+class BenchManifest {
+ public:
+  explicit BenchManifest(std::string name) : name_(std::move(name)), manifest_(name_) {
+    const char* dir = std::getenv("PMSB_BENCH_MANIFEST_DIR");
+    if (dir != nullptr) dir_ = dir;
+    manifest_.set_info("scale", full_scale() ? "full" : "quick");
+  }
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  void set_result(const std::string& key, double value) {
+    manifest_.set_result(key, value);
+  }
+  void set_info(const std::string& key, const std::string& value) {
+    manifest_.set_info(key, value);
+  }
+
+  /// Writes <dir>/<name>.json (optionally with a metrics section).
+  void write(const telemetry::MetricsRegistry* registry = nullptr) {
+    if (dir_.empty()) return;
+    const std::string path = dir_ + "/" + name_ + ".json";
+    manifest_.write(path, registry);
+    std::printf("manifest: %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  telemetry::RunManifest manifest_;
+};
 
 /// Measures per-queue service rates over [warmup, end] on a dumbbell.
 struct QueueRates {

@@ -26,6 +26,10 @@ int main() {
     sc.add_flow({.sender = i, .service = 1, .bytes = 0, .start = 0});
   }
 
+  bench::BenchManifest manifest("bench_fig08_pmsb_dwrr_1v4");
+  telemetry::MetricsRegistry registry;
+  if (manifest.enabled()) sc.bind_metrics(registry);
+
   // Print a short throughput-vs-time series like the paper's figure, then
   // the long-run shares.
   stats::Table series({"t(ms)", "q1(Gbps)", "q2(Gbps)"});
@@ -48,5 +52,15 @@ int main() {
   std::printf("drops: %llu, port marks: %llu\n",
               static_cast<unsigned long long>(sc.bottleneck().stats().dropped_packets),
               static_cast<unsigned long long>(sc.bottleneck().stats().marked_enqueue));
+
+  // Whole-run average shares.
+  const double dt_total = static_cast<double>(end);
+  manifest.set_result("q1_gbps", static_cast<double>(sc.served_bytes(0)) * 8.0 / dt_total);
+  manifest.set_result("q2_gbps", static_cast<double>(sc.served_bytes(1)) * 8.0 / dt_total);
+  manifest.set_result(
+      "drops", static_cast<double>(sc.bottleneck().stats().dropped_packets));
+  manifest.set_result(
+      "port_marks", static_cast<double>(sc.bottleneck().stats().marked_enqueue));
+  manifest.write(manifest.enabled() ? &registry : nullptr);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ecn/marking.hpp"
+#include "ecn/sojourn_buckets.hpp"
 #include "sim/units.hpp"
 
 namespace pmsb::ecn {
@@ -31,8 +32,12 @@ class CodelMarking final : public MarkingScheme {
   [[nodiscard]] bool should_mark(const PortSnapshot& snap, const Packet& pkt,
                                  MarkPoint point, TimeNs now) override {
     if (point != MarkPoint::kDequeue) return false;
+    ++evals_;
     QueueState& st = state_.at(snap.queue % state_.size());
     const TimeNs sojourn = now - pkt.enqueue_time;
+    if (sojourn_hist_ != nullptr) {
+      sojourn_hist_->observe(sim::to_microseconds(sojourn));
+    }
     if (sojourn < cfg_.target || snap.queue_bytes < sim::kDefaultMtuBytes) {
       // Below target: leave the marking phase.
       st.first_above = kNever;
@@ -65,6 +70,13 @@ class CodelMarking final : public MarkingScheme {
   [[nodiscard]] std::string name() const override { return "CoDel"; }
   [[nodiscard]] bool early_notification() const override { return false; }
 
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    const telemetry::Labels& labels) override {
+    registry.bind_counter("ecn.threshold_evals", labels, &evals_, "evals");
+    sojourn_hist_ =
+        &registry.histogram("ecn.sojourn_us", sojourn_bucket_bounds_us(), labels, "us");
+  }
+
   [[nodiscard]] std::uint64_t mark_count(std::size_t queue) const {
     return state_.at(queue).count;
   }
@@ -86,6 +98,8 @@ class CodelMarking final : public MarkingScheme {
 
   CodelConfig cfg_;
   std::vector<QueueState> state_;
+  std::uint64_t evals_ = 0;
+  telemetry::Histogram* sojourn_hist_ = nullptr;  ///< set when bound
 };
 
 }  // namespace pmsb::ecn

@@ -16,6 +16,7 @@
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pmsb::ecn {
 
@@ -67,6 +68,15 @@ class MarkingScheme {
   /// Needs changes inside the switch (everything except plain per-port used
   /// by PMSB(e) end hosts).
   [[nodiscard]] virtual bool requires_switch_modification() const { return true; }
+
+  /// Registers this scheme's internal instruments (threshold evaluations,
+  /// blindness suppressions, sojourn histograms, ...) under `labels`.
+  /// Default: the scheme has nothing beyond what the Port already counts.
+  virtual void bind_metrics(telemetry::MetricsRegistry& registry,
+                            const telemetry::Labels& labels) {
+    (void)registry;
+    (void)labels;
+  }
 
   // --- Hooks driven by the owning Port ---
   /// A scheduling round completed (round-based schedulers only).

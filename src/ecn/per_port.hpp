@@ -17,6 +17,7 @@ class PerPortMarking final : public MarkingScheme {
 
   [[nodiscard]] bool should_mark(const PortSnapshot& snap, const Packet&, MarkPoint,
                                  TimeNs) override {
+    ++evals_;
     return snap.port_bytes >= threshold_;
   }
 
@@ -25,10 +26,16 @@ class PerPortMarking final : public MarkingScheme {
   /// Plain per-port marking is what commodity chips already do.
   [[nodiscard]] bool requires_switch_modification() const override { return false; }
 
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    const telemetry::Labels& labels) override {
+    registry.bind_counter("ecn.threshold_evals", labels, &evals_, "evals");
+  }
+
   [[nodiscard]] std::uint64_t threshold() const { return threshold_; }
 
  private:
   std::uint64_t threshold_;
+  std::uint64_t evals_ = 0;
 };
 
 /// Marking disabled (plain drop-tail port).

@@ -1,0 +1,18 @@
+// Shared histogram bucket edges for sojourn-time instruments (TCN, CoDel).
+//
+// Roughly logarithmic from 1 us to 10 ms — sojourn in a datacenter switch
+// spans serialization time (~1 us at 10G) to a full drop-tail buffer
+// (~1.2 ms at the default 1024 MTU budget), with the +inf bucket catching
+// pathologies. Keeping one edge set makes TCN and CoDel histograms directly
+// comparable in the run manifest.
+#pragma once
+
+#include <vector>
+
+namespace pmsb::ecn {
+
+[[nodiscard]] inline std::vector<double> sojourn_bucket_bounds_us() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+}
+
+}  // namespace pmsb::ecn

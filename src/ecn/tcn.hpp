@@ -7,6 +7,7 @@
 #pragma once
 
 #include "ecn/marking.hpp"
+#include "ecn/sojourn_buckets.hpp"
 
 namespace pmsb::ecn {
 
@@ -17,17 +18,31 @@ class TcnMarking final : public MarkingScheme {
   [[nodiscard]] bool should_mark(const PortSnapshot&, const Packet& pkt, MarkPoint point,
                                  TimeNs now) override {
     if (point != MarkPoint::kDequeue) return false;  // sojourn unknown before dequeue
-    return now - pkt.enqueue_time > threshold_;
+    ++evals_;
+    const TimeNs sojourn = now - pkt.enqueue_time;
+    if (sojourn_hist_ != nullptr) {
+      sojourn_hist_->observe(sim::to_microseconds(sojourn));
+    }
+    return sojourn > threshold_;
   }
 
   [[nodiscard]] std::string name() const override { return "TCN"; }
 
   [[nodiscard]] bool early_notification() const override { return false; }
 
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    const telemetry::Labels& labels) override {
+    registry.bind_counter("ecn.threshold_evals", labels, &evals_, "evals");
+    sojourn_hist_ =
+        &registry.histogram("ecn.sojourn_us", sojourn_bucket_bounds_us(), labels, "us");
+  }
+
   [[nodiscard]] TimeNs sojourn_threshold() const { return threshold_; }
 
  private:
   TimeNs threshold_;
+  std::uint64_t evals_ = 0;
+  telemetry::Histogram* sojourn_hist_ = nullptr;  ///< set when bound
 };
 
 }  // namespace pmsb::ecn

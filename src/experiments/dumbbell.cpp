@@ -73,6 +73,28 @@ std::size_t DumbbellScenario::add_flow(const DumbbellFlowSpec& spec) {
   return flows_.size() - 1;
 }
 
+void DumbbellScenario::bind_metrics(telemetry::MetricsRegistry& registry) {
+  switch_->port(bottleneck_port_).bind_metrics(registry, {{"port", "bottleneck"}});
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    flows_[i]->sender().bind_metrics(registry, {{"flow", std::to_string(i)}});
+  }
+}
+
+void DumbbellScenario::add_sampler_columns(telemetry::TimeSeriesSampler& sampler) {
+  switchlib::Port& port = switch_->port(bottleneck_port_);
+  sampler.add_probe("bottleneck.occupancy_bytes", [&port] {
+    return static_cast<double>(port.buffered_bytes());
+  });
+  const std::size_t num_queues = cfg_.scheduler.num_queues;
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    sampler.add_probe("bottleneck.q" + std::to_string(q) + ".backlog_bytes",
+                      [&port, q] { return static_cast<double>(port.queue_bytes(q)); });
+  }
+  sampler.add_rate("bottleneck.mark_rate_pps", [&port]() -> std::uint64_t {
+    return port.stats().marked_enqueue + port.stats().marked_dequeue;
+  });
+}
+
 sim::TimeNs DumbbellScenario::base_rtt() const {
   // Data: sender NIC serialize + 2 propagation hops + switch serialize;
   // ACK: the same with a 40 B packet.

@@ -20,6 +20,8 @@
 #include "sim/units.hpp"
 #include "stats/summary.hpp"
 #include "switchlib/switch.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
 #include "transport/dctcp.hpp"
 
 namespace pmsb::experiments {
@@ -68,6 +70,15 @@ class DumbbellScenario {
   [[nodiscard]] std::size_t num_flows() const { return flows_.size(); }
   [[nodiscard]] net::Host& sender(std::size_t idx) { return *senders_.at(idx); }
   [[nodiscard]] net::Host& receiver() { return *receiver_; }
+
+  /// Registers the bottleneck port's instruments (label `port=bottleneck`)
+  /// and every flow's sender instruments (label `flow=<idx>`). Flows added
+  /// after this call are not covered — bind after add_flow().
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+
+  /// Adds bottleneck occupancy / per-queue backlog probes and a mark-rate
+  /// column to `sampler`. Call before sampler.start().
+  void add_sampler_columns(telemetry::TimeSeriesSampler& sampler);
 
   /// Monotone count of bytes the bottleneck has served from queue q.
   /// `run(until)` can be called repeatedly, so a rate over [t1, t2] is

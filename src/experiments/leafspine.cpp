@@ -91,6 +91,62 @@ bool LeafSpineScenario::run_until_complete(sim::TimeNs max_time) {
   return completed_ == flows_.size();
 }
 
+void LeafSpineScenario::bind_metrics(telemetry::MetricsRegistry& registry) {
+  auto bind_switch = [&registry](switchlib::Switch& sw) {
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      sw.port(p).bind_metrics(
+          registry, {{"switch", sw.name()}, {"port", std::to_string(p)}});
+    }
+  };
+  for (auto& l : leaves_) bind_switch(*l);
+  for (auto& s : spines_) bind_switch(*s);
+
+  // Fabric-wide transport aggregates, summed over flows at collect time so
+  // the instrument count stays independent of workload size.
+  auto sum = [this](std::uint64_t transport::SenderStats::* cell) {
+    return [this, cell]() -> std::uint64_t {
+      std::uint64_t total = 0;
+      for (const auto& f : flows_) total += f->sender().stats().*cell;
+      return total;
+    };
+  };
+  registry.counter_fn("transport.segments_sent", {},
+                      sum(&transport::SenderStats::segments_sent), "segments");
+  registry.counter_fn("transport.retransmits", {},
+                      sum(&transport::SenderStats::retransmits), "segments");
+  registry.counter_fn("transport.timeouts", {},
+                      sum(&transport::SenderStats::timeouts), "events");
+  registry.counter_fn("transport.ece_acks", {},
+                      sum(&transport::SenderStats::ece_acks), "acks");
+  registry.counter_fn("transport.ece_ignored", {},
+                      sum(&transport::SenderStats::ece_ignored), "acks");
+  registry.counter_fn("transport.window_cuts", {},
+                      sum(&transport::SenderStats::window_cuts), "cuts");
+  registry.counter_fn(
+      "flows.completed", {},
+      [this]() -> std::uint64_t { return completed_; }, "flows");
+  registry.counter_fn(
+      "flows.total", {},
+      [this]() -> std::uint64_t { return flows_.size(); }, "flows");
+}
+
+void LeafSpineScenario::add_sampler_columns(telemetry::TimeSeriesSampler& sampler) {
+  auto add_switch = [&sampler](switchlib::Switch& sw) {
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      switchlib::Port& port = sw.port(p);
+      const std::string prefix = sw.name() + ".p" + std::to_string(p);
+      sampler.add_probe(prefix + ".occupancy_bytes", [&port] {
+        return static_cast<double>(port.buffered_bytes());
+      });
+      sampler.add_rate(prefix + ".mark_rate_pps", [&port]() -> std::uint64_t {
+        return port.stats().marked_enqueue + port.stats().marked_dequeue;
+      });
+    }
+  };
+  for (auto& l : leaves_) add_switch(*l);
+  for (auto& s : spines_) add_switch(*s);
+}
+
 std::uint64_t LeafSpineScenario::total_marks() const {
   std::uint64_t marks = 0;
   auto add = [&marks](const switchlib::Switch& sw) {

@@ -18,6 +18,8 @@
 #include "sim/simulator.hpp"
 #include "stats/fct.hpp"
 #include "switchlib/switch.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
 #include "transport/dctcp.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -63,6 +65,16 @@ class LeafSpineScenario {
   [[nodiscard]] switchlib::Switch& spine(std::size_t idx) { return *spines_.at(idx); }
   [[nodiscard]] std::size_t completed_flows() const { return completed_; }
   [[nodiscard]] std::size_t total_flows() const { return flows_.size(); }
+
+  /// Registers every switch port's instruments (labels
+  /// `switch=<leaf|spine name>, port=<idx>`) plus fabric-wide transport
+  /// aggregates (timeouts, retransmits, ECE acks, flows completed) summed
+  /// across flows at collect time.
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+
+  /// Adds one occupancy-bytes probe and one mark-rate column per switch
+  /// port to `sampler`. Call before sampler.start().
+  void add_sampler_columns(telemetry::TimeSeriesSampler& sampler);
 
   /// Aggregate CE marks applied across every switch port (both points).
   [[nodiscard]] std::uint64_t total_marks() const;

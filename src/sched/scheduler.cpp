@@ -10,6 +10,7 @@ Scheduler::Scheduler(std::size_t num_queues, std::vector<double> weights)
     : queues_(num_queues),
       qbytes_(num_queues, 0),
       served_(num_queues, 0),
+      served_packets_(num_queues, 0),
       weights_(std::move(weights)) {
   if (num_queues == 0) throw std::invalid_argument("Scheduler: need >= 1 queue");
   if (weights_.empty()) weights_.assign(num_queues, 1.0);
@@ -41,6 +42,7 @@ std::optional<Dequeued> Scheduler::dequeue(TimeNs now) {
   total_bytes_ -= pkt.size_bytes;
   --total_packets_;
   served_[q] += pkt.size_bytes;
+  ++served_packets_[q];
   on_dequeue(q, pkt);
   return Dequeued{std::move(pkt), q};
 }

@@ -68,6 +68,10 @@ class Scheduler {
 
   /// Bytes `dequeue` has handed out per queue (for fairness tests).
   [[nodiscard]] std::uint64_t served_bytes(std::size_t q) const { return served_.at(q); }
+  /// Packets `dequeue` has handed out per queue.
+  [[nodiscard]] std::uint64_t served_packets(std::size_t q) const {
+    return served_packets_.at(q);
+  }
 
   void set_round_observer(RoundObserver obs) { round_observer_ = std::move(obs); }
 
@@ -99,6 +103,7 @@ class Scheduler {
   std::vector<std::deque<Packet>> queues_;
   std::vector<std::uint64_t> qbytes_;
   std::vector<std::uint64_t> served_;
+  std::vector<std::uint64_t> served_packets_;
   std::vector<double> weights_;
   double weight_sum_ = 0;
   std::uint64_t total_bytes_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/logging.hpp"
 
+#include <cstdarg>
 #include <cstdio>
 
 namespace pmsb::sim {
@@ -21,6 +22,33 @@ const char* level_name(LogLevel level) {
 
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
+
+void log(LogLevel level, TimeNs t, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  char buf[512];
+  const int needed = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    detail::log_line(LogLevel::kError, t, std::string("[log format error] ") + fmt);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) >= sizeof(buf)) {
+    // Reformat into an exact-size heap buffer instead of cutting the tail.
+    std::string big(static_cast<std::size_t>(needed) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, args_copy);
+    big.resize(static_cast<std::size_t>(needed));
+    va_end(args_copy);
+    detail::log_line(level, t, big);
+    return;
+  }
+  va_end(args_copy);
+  detail::log_line(level, t, std::string(buf, static_cast<std::size_t>(needed)));
+}
 
 namespace detail {
 void log_line(LogLevel level, TimeNs t, const std::string& msg) {

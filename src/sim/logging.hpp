@@ -5,11 +5,19 @@
 // simulation timestamp supplied by the caller so traces line up with events.
 #pragma once
 
-#include <cstdio>
 #include <string>
-#include <utility>
 
 #include "sim/time.hpp"
+
+// Lets the compiler check log() call sites like printf: wrong conversion
+// specifiers or argument counts become -Wformat diagnostics instead of
+// runtime garbage/UB.
+#if defined(__GNUC__) || defined(__clang__)
+#define PMSB_PRINTF_LIKE(fmt_idx, va_idx) \
+  __attribute__((format(printf, fmt_idx, va_idx)))
+#else
+#define PMSB_PRINTF_LIKE(fmt_idx, va_idx)
+#endif
 
 namespace pmsb::sim {
 
@@ -22,17 +30,8 @@ namespace detail {
 void log_line(LogLevel level, TimeNs t, const std::string& msg);
 }
 
-template <typename... Args>
-void log(LogLevel level, TimeNs t, const char* fmt, Args&&... args) {
-  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
-  char buf[512];
-  std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
-  detail::log_line(level, t, buf);
-}
-
-inline void log(LogLevel level, TimeNs t, const char* msg) {
-  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
-  detail::log_line(level, t, msg);
-}
+/// printf-style leveled log line. Messages that do not fit the 512-byte
+/// stack buffer are heap-formatted in full — never silently truncated.
+void log(LogLevel level, TimeNs t, const char* fmt, ...) PMSB_PRINTF_LIKE(3, 4);
 
 }  // namespace pmsb::sim

@@ -4,6 +4,10 @@
 #include <cassert>
 #include <stdexcept>
 
+#ifdef PMSB_PROFILE_DISPATCH
+#include <chrono>
+#endif
+
 namespace pmsb::sim {
 
 EventId Simulator::schedule_at(TimeNs t, Callback fn) {
@@ -13,12 +17,16 @@ EventId Simulator::schedule_at(TimeNs t, Callback fn) {
   const EventId id = next_id_++;
   heap_.push(Event{t, id, std::move(fn)});
   ++live_events_;
+  max_heap_depth_ = std::max(max_heap_depth_, heap_.size());
   return id;
 }
 
 void Simulator::cancel(EventId id) {
   if (id == kInvalidEventId || id >= next_id_) return;
-  if (cancelled_.insert(id).second && live_events_ > 0) --live_events_;
+  if (cancelled_.insert(id).second && live_events_ > 0) {
+    --live_events_;
+    ++cancelled_events_;
+  }
 }
 
 bool Simulator::step(TimeNs until) {
@@ -40,7 +48,16 @@ bool Simulator::step(TimeNs until) {
     --live_events_;
     now_ = ev.time;
     ++executed_events_;
+#ifdef PMSB_PROFILE_DISPATCH
+    const auto t0 = std::chrono::steady_clock::now();
     ev.fn();
+    dispatch_wall_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+#else
+    ev.fn();
+#endif
     return true;
   }
   return false;

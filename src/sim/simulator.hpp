@@ -66,6 +66,24 @@ class Simulator {
   [[nodiscard]] bool empty() const { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending_events() const { return live_events_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_events_; }
+  [[nodiscard]] std::uint64_t cancelled_events() const { return cancelled_events_; }
+  /// High-water mark of the event heap (including lazily-skipped cancelled
+  /// entries) — the kernel's memory pressure signal.
+  [[nodiscard]] std::size_t max_heap_depth() const { return max_heap_depth_; }
+
+  /// True when the build carries per-event wall-clock dispatch profiling
+  /// (configure with -DPMSB_PROFILE_DISPATCH=ON; off by default because the
+  /// clock reads dominate small callbacks).
+  [[nodiscard]] static constexpr bool dispatch_profiling_enabled() {
+#ifdef PMSB_PROFILE_DISPATCH
+    return true;
+#else
+    return false;
+#endif
+  }
+  /// Total wall-clock nanoseconds spent inside event callbacks; 0 unless
+  /// dispatch_profiling_enabled().
+  [[nodiscard]] std::uint64_t dispatch_wall_ns() const { return dispatch_wall_ns_; }
 
  private:
   struct Event {
@@ -87,7 +105,10 @@ class Simulator {
   TimeNs now_ = 0;
   EventId next_id_ = 1;
   std::size_t live_events_ = 0;
+  std::size_t max_heap_depth_ = 0;
   std::uint64_t executed_events_ = 0;
+  std::uint64_t cancelled_events_ = 0;
+  std::uint64_t dispatch_wall_ns_ = 0;
   bool stop_requested_ = false;
 };
 

@@ -67,18 +67,64 @@ ecn::PortSnapshot Port::snapshot(std::size_t queue, std::uint64_t extra_port_byt
   return snap;
 }
 
+void Port::bind_metrics(telemetry::MetricsRegistry& registry,
+                        const telemetry::Labels& labels) {
+  registry.bind_counter("port.enqueued_packets", labels, &stats_.enqueued_packets,
+                        "packets");
+  registry.bind_counter("port.dequeued_packets", labels, &stats_.dequeued_packets,
+                        "packets");
+  registry.bind_counter("port.dropped_packets", labels, &stats_.dropped_packets,
+                        "packets");
+  registry.bind_counter("port.dropped_bytes", labels, &stats_.dropped_bytes, "bytes");
+  registry.bind_counter("port.marked_enqueue", labels, &stats_.marked_enqueue,
+                        "packets");
+  registry.bind_counter("port.marked_dequeue", labels, &stats_.marked_dequeue,
+                        "packets");
+  for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+    telemetry::Labels l = labels;
+    l.emplace_back("reason", drop_reason_name(static_cast<DropReason>(r)));
+    registry.bind_counter("port.drops", l, &stats_.dropped_by_reason[r], "packets");
+  }
+  registry.gauge_fn(
+      "port.occupancy_bytes", labels,
+      [this] { return static_cast<double>(sched_->total_bytes()); }, "bytes");
+  registry.gauge_fn(
+      "port.occupancy_packets", labels,
+      [this] { return static_cast<double>(sched_->total_packets()); }, "packets");
+  for (std::size_t q = 0; q < sched_->num_queues(); ++q) {
+    telemetry::Labels l = labels;
+    l.emplace_back("queue", std::to_string(q));
+    registry.bind_counter("port.marks", l, &stats_.marked_per_queue[q], "packets");
+    registry.gauge_fn(
+        "queue.backlog_bytes", l,
+        [this, q] { return static_cast<double>(sched_->queue_bytes(q)); }, "bytes");
+    registry.counter_fn(
+        "sched.served_bytes", l, [this, q] { return sched_->served_bytes(q); },
+        "bytes");
+    registry.counter_fn(
+        "sched.dequeued_packets", l, [this, q] { return sched_->served_packets(q); },
+        "packets");
+  }
+  marking_->bind_metrics(registry, labels);
+}
+
 void Port::trace_event(trace::EventKind kind, const Packet& pkt, std::size_t queue) {
   if (tracer_ == nullptr) return;
   tracer_->record({sim_.now(), kind, pkt.id, pkt.flow_id, queue,
                    sched_->total_bytes()});
 }
 
+void Port::drop(const Packet& pkt, std::size_t queue, DropReason reason) {
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += pkt.size_bytes;
+  ++stats_.dropped_by_reason[static_cast<std::size_t>(reason)];
+  trace_event(trace::EventKind::kDrop, pkt, queue);
+}
+
 void Port::handle(Packet pkt) {
   const std::size_t q = classifier_(pkt);
   if (sched_->total_bytes() + pkt.size_bytes > buffer_bytes_) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += pkt.size_bytes;
-    trace_event(trace::EventKind::kDrop, pkt, q);
+    drop(pkt, q, DropReason::kPortBudget);
     return;
   }
   if (pool_ != nullptr && dt_alpha_ > 0.0) {
@@ -86,16 +132,12 @@ void Port::handle(Packet pkt) {
     const double free_pool = static_cast<double>(pool_->limit() - pool_->bytes());
     if (static_cast<double>(sched_->total_bytes() + pkt.size_bytes) >
         dt_alpha_ * free_pool) {
-      ++stats_.dropped_packets;
-      stats_.dropped_bytes += pkt.size_bytes;
-      trace_event(trace::EventKind::kDrop, pkt, q);
+      drop(pkt, q, DropReason::kDynamicThreshold);
       return;
     }
   }
   if (pool_ != nullptr && !pool_->try_reserve(pkt.size_bytes)) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += pkt.size_bytes;
-    trace_event(trace::EventKind::kDrop, pkt, q);
+    drop(pkt, q, DropReason::kPoolExhausted);
     return;
   }
   const bool was_empty = sched_->empty();

@@ -3,6 +3,7 @@
 // transmit loop that drives the attached link.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "sim/simulator.hpp"
 #include "switchlib/buffer_pool.hpp"
 #include "switchlib/occupancy.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/tracer.hpp"
 
 namespace pmsb::switchlib {
@@ -40,7 +42,27 @@ struct PortConfig {
   double dt_alpha = 0.0;
 };
 
-/// Per-port counters exposed for tests and benches.
+/// Why a packet was refused admission at a port.
+enum class DropReason : std::uint8_t {
+  kPortBudget = 0,        ///< drop-tail over the port's own buffer budget
+  kDynamicThreshold = 1,  ///< DT allowance shrank below the arrival
+  kPoolExhausted = 2,     ///< shared service pool had no room
+};
+
+inline constexpr std::size_t kNumDropReasons = 3;
+
+[[nodiscard]] inline const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kPortBudget: return "port_budget";
+    case DropReason::kDynamicThreshold: return "dynamic_threshold";
+    case DropReason::kPoolExhausted: return "pool_exhausted";
+  }
+  return "?";
+}
+
+/// Per-port counters exposed for tests and benches. These cells double as
+/// the storage behind the registry instruments bind_metrics() registers, so
+/// the legacy struct and the telemetry view can never disagree.
 struct PortStats {
   std::uint64_t enqueued_packets = 0;
   std::uint64_t dequeued_packets = 0;
@@ -49,6 +71,8 @@ struct PortStats {
   std::uint64_t marked_enqueue = 0;
   std::uint64_t marked_dequeue = 0;
   std::vector<std::uint64_t> marked_per_queue;  ///< CE marks by queue
+  /// Drops broken down by admission-failure cause (sums to dropped_packets).
+  std::array<std::uint64_t, kNumDropReasons> dropped_by_reason{};
 };
 
 class Port {
@@ -75,6 +99,15 @@ class Port {
   /// must outlive the port.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Registers this port's instruments in `registry` under `labels`
+  /// (e.g. {{"switch","leaf0"},{"port","2"}}): every PortStats cell as a
+  /// bound counter (drop reasons and per-queue marks included), live
+  /// occupancy / per-queue backlog probe gauges, per-queue service counters
+  /// from the scheduler, and whatever the marking scheme itself exposes.
+  /// Pure registration — the packet path does not get any new work.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    const telemetry::Labels& labels);
+
   [[nodiscard]] const sched::Scheduler& scheduler() const { return *sched_; }
   [[nodiscard]] ecn::MarkingScheme& marking() { return *marking_; }
   [[nodiscard]] const PortStats& stats() const { return stats_; }
@@ -88,6 +121,7 @@ class Port {
 
  private:
   void try_transmit();
+  void drop(const Packet& pkt, std::size_t queue, DropReason reason);
   [[nodiscard]] ecn::PortSnapshot snapshot(std::size_t queue,
                                            std::uint64_t extra_port_bytes,
                                            std::uint64_t extra_queue_bytes,

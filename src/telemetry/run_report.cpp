@@ -1,0 +1,209 @@
+#include "telemetry/run_report.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace pmsb::telemetry {
+
+namespace {
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* build_git_describe() {
+#ifdef PMSB_GIT_DESCRIBE
+  return PMSB_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!items_.empty()) {
+    if (items_.back() > 0) out_ += ',';
+    ++items_.back();
+  }
+}
+
+void JsonWriter::raw_string(const std::string& s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  items_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  items_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  if (!items_.empty()) {
+    if (items_.back() > 0) out_ += ',';
+    ++items_.back();
+  }
+  raw_string(k);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  raw_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+RunManifest::RunManifest(std::string tool)
+    : tool_(std::move(tool)), wall_start_ns_(wall_now_ns()) {}
+
+std::string RunManifest::to_json(const MetricsRegistry* registry) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmsb.run_manifest/1");
+  w.key("tool").value(tool_);
+  w.key("git").value(build_git_describe());
+  w.key("seed").value(seed_);
+  const double wall_s =
+      static_cast<double>(wall_now_ns() - wall_start_ns_) * 1e-9;
+  w.key("wall_clock_s").value(wall_s);
+  w.key("sim_time_us").value(sim_time_us_);
+
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config_) w.key(k).value(v);
+  w.end_object();
+
+  w.key("info").begin_object();
+  for (const auto& [k, v] : info_) w.key(k).value(v);
+  w.end_object();
+
+  w.key("results").begin_object();
+  for (const auto& [k, v] : results_) w.key(k).value(v);
+  w.end_object();
+
+  w.key("metrics").begin_array();
+  if (registry != nullptr) {
+    for (const auto& snap : registry->collect()) {
+      w.begin_object();
+      w.key("name").value(snap.name);
+      w.key("kind").value(instrument_kind_name(snap.kind));
+      if (!snap.unit.empty()) w.key("unit").value(snap.unit);
+      w.key("labels").begin_object();
+      for (const auto& [k, v] : snap.labels) w.key(k).value(v);
+      w.end_object();
+      if (snap.kind == InstrumentKind::kHistogram && snap.histogram != nullptr) {
+        const Histogram& h = *snap.histogram;
+        w.key("count").value(h.count());
+        w.key("sum").value(h.sum());
+        w.key("buckets").begin_array();
+        for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+          w.begin_object();
+          w.key("le");
+          if (i + 1 == h.num_buckets()) {
+            w.value("inf");
+          } else {
+            w.value(h.upper_bound(i));
+          }
+          w.key("count").value(h.bucket_count(i));
+          w.end_object();
+        }
+        w.end_array();
+      } else {
+        w.key("value").value(snap.value);
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+void RunManifest::write(const std::string& path, const MetricsRegistry* registry) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("RunManifest::write: cannot open " + path);
+  out << to_json(registry) << '\n';
+}
+
+}  // namespace pmsb::telemetry

@@ -1,0 +1,103 @@
+// Machine-readable run manifest: one JSON document per simulation run.
+//
+// A RunManifest captures everything needed to compare two runs of the same
+// experiment — the full config echo, the seed, the build's git describe
+// string, wall-clock and simulated duration, scalar results (FCT summaries),
+// and a dump of every instrument in a MetricsRegistry. pmsbsim writes one
+// when `metrics_json=` is given; benches write them under
+// PMSB_BENCH_MANIFEST_DIR so the BENCH_*.json trajectory has a stable
+// schema to track.
+//
+// Schema (`pmsb.run_manifest/1`):
+//   {
+//     "schema": "pmsb.run_manifest/1",
+//     "tool": "...", "git": "...", "seed": N,
+//     "wall_clock_s": W, "sim_time_us": T,
+//     "config":  { "key": "value", ... },
+//     "info":    { "key": "value", ... },
+//     "results": { "key": number, ... },
+//     "metrics": [
+//       {"name": "...", "kind": "counter|gauge", "unit": "...",
+//        "labels": {...}, "value": number},
+//       {"name": "...", "kind": "histogram", "unit": "...", "labels": {...},
+//        "count": N, "sum": S, "buckets": [{"le": bound|"inf", "count": N}]}
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace pmsb::telemetry {
+
+/// Minimal streaming JSON writer (objects, arrays, strings, numbers) with
+/// correct escaping. Non-finite numbers are emitted as null.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+  void raw_string(const std::string& s);
+
+  std::string out_;
+  // One frame per open container: counts emitted items for comma placement.
+  std::vector<std::size_t> items_;
+  bool pending_key_ = false;
+};
+
+/// The git describe string baked into this build ("unknown" outside git).
+[[nodiscard]] const char* build_git_describe();
+
+class RunManifest {
+ public:
+  /// Starts the wall-clock timer at construction.
+  explicit RunManifest(std::string tool);
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  /// Config echo (typically Options::values()): what the run was asked to do.
+  void set_config(const std::map<std::string, std::string>& kv) { config_ = kv; }
+  void set_config_value(const std::string& key, const std::string& value) {
+    config_[key] = value;
+  }
+  /// Free-form string facts (topology, scheme name, scale mode, ...).
+  void set_info(const std::string& key, const std::string& value) {
+    info_[key] = value;
+  }
+  /// Scalar results (FCT means/percentiles, throughputs, ...).
+  void set_result(const std::string& key, double value) { results_[key] = value; }
+  void set_sim_time_us(double t) { sim_time_us_ = t; }
+
+  /// Serializes the manifest; `registry` may be null (no metrics section).
+  [[nodiscard]] std::string to_json(const MetricsRegistry* registry) const;
+
+  /// Writes to_json() to `path`; throws on I/O failure.
+  void write(const std::string& path, const MetricsRegistry* registry) const;
+
+ private:
+  std::string tool_;
+  std::uint64_t seed_ = 0;
+  double sim_time_us_ = 0.0;
+  std::map<std::string, std::string> config_;
+  std::map<std::string, std::string> info_;
+  std::map<std::string, double> results_;
+  std::int64_t wall_start_ns_;
+};
+
+}  // namespace pmsb::telemetry

@@ -9,10 +9,21 @@ void Tracer::write_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("Tracer::write_csv: cannot open " + path);
   out << "time_us,event,packet,flow,queue,port_bytes\n";
-  for (const auto& r : records_) {
+  for_each_chronological([&out](const Record& r) {
     out << sim::to_microseconds(r.time) << ',' << event_kind_name(r.kind) << ','
         << r.packet << ',' << r.flow << ',' << r.queue << ',' << r.port_bytes << '\n';
-  }
+  });
+}
+
+void Tracer::write_ndjson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Tracer::write_ndjson: cannot open " + path);
+  for_each_chronological([&out](const Record& r) {
+    out << "{\"t_us\":" << sim::to_microseconds(r.time) << ",\"event\":\""
+        << event_kind_name(r.kind) << "\",\"packet\":" << r.packet
+        << ",\"flow\":" << r.flow << ",\"queue\":" << r.queue
+        << ",\"port_bytes\":" << r.port_bytes << "}\n";
+  });
 }
 
 }  // namespace pmsb::trace

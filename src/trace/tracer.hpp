@@ -5,10 +5,17 @@
 // behaviour and for fine-grained analysis (e.g. "which queue's packets were
 // marked while the port was over threshold" — the victim question at the
 // heart of the paper). Bounded capacity so a forgotten tracer cannot eat
-// the heap; overflow is counted, not silently ignored.
+// the heap; on overflow the tracer either drops new records (kDropNewest,
+// the default) or overwrites the oldest (kRingBuffer — post-mortems want
+// the tail, not the head). Either way `overflow()` counts what was lost.
+//
+// Event counts are maintained incrementally on record, so `count()` /
+// `count_queue()` are O(1) regardless of capture size.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +25,8 @@
 namespace pmsb::trace {
 
 enum class EventKind : std::uint8_t { kEnqueue, kDequeue, kMark, kDrop };
+
+inline constexpr std::size_t kNumEventKinds = 4;
 
 [[nodiscard]] inline const char* event_kind_name(EventKind kind) {
   switch (kind) {
@@ -38,51 +47,95 @@ struct Record {
   std::uint64_t port_bytes = 0;  ///< port occupancy at the event
 };
 
+/// What to do with a new record once `capacity` is reached.
+enum class OverflowPolicy : std::uint8_t {
+  kDropNewest,  ///< keep the first N records, count the rest as overflow
+  kRingBuffer,  ///< keep the LAST N records, overwriting the oldest
+};
+
 class Tracer {
  public:
-  explicit Tracer(std::size_t capacity = 1'000'000) : capacity_(capacity) {}
+  explicit Tracer(std::size_t capacity = 1'000'000,
+                  OverflowPolicy policy = OverflowPolicy::kDropNewest)
+      : capacity_(capacity), policy_(policy) {}
 
   /// Restrict capture to one flow (0 = capture everything).
   void set_flow_filter(net::FlowId flow) { flow_filter_ = flow; }
 
   void record(const Record& rec) {
     if (flow_filter_ != 0 && rec.flow != flow_filter_) return;
-    if (records_.size() >= capacity_) {
+    if (records_.size() < capacity_) {
+      records_.push_back(rec);
+      bump(rec, +1);
+      return;
+    }
+    if (policy_ == OverflowPolicy::kDropNewest || capacity_ == 0) {
       ++overflow_;
       return;
     }
-    records_.push_back(rec);
+    // Ring mode: evict the oldest record in place.
+    bump(records_[write_], -1);
+    ++overflow_;
+    records_[write_] = rec;
+    bump(rec, +1);
+    write_ = (write_ + 1) % capacity_;
   }
 
+  /// Raw storage. In ring mode after wrap-around this is NOT chronological;
+  /// use for_each_chronological() or the exporters for ordered access.
   [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  /// Records lost (kDropNewest) or evicted (kRingBuffer).
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] OverflowPolicy policy() const { return policy_; }
 
-  [[nodiscard]] std::size_t count(EventKind kind) const {
-    std::size_t n = 0;
-    for (const auto& r : records_) n += r.kind == kind ? 1 : 0;
-    return n;
+  /// Visits the retained records oldest-first.
+  void for_each_chronological(const std::function<void(const Record&)>& fn) const {
+    for (std::size_t i = write_; i < records_.size(); ++i) fn(records_[i]);
+    for (std::size_t i = 0; i < write_; ++i) fn(records_[i]);
   }
 
-  /// Events of `kind` charged to queue `q`.
+  /// O(1): retained events of `kind` (maintained incrementally).
+  [[nodiscard]] std::size_t count(EventKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+
+  /// O(1): retained events of `kind` charged to queue `q`.
   [[nodiscard]] std::size_t count_queue(EventKind kind, std::size_t q) const {
-    std::size_t n = 0;
-    for (const auto& r : records_) n += (r.kind == kind && r.queue == q) ? 1 : 0;
-    return n;
+    if (q >= queue_counts_.size()) return 0;
+    return queue_counts_[q][static_cast<std::size_t>(kind)];
   }
 
   void clear() {
     records_.clear();
     overflow_ = 0;
+    write_ = 0;
+    counts_.fill(0);
+    queue_counts_.clear();
   }
 
-  /// CSV dump: time_us, event, packet, flow, queue, port_bytes.
+  /// CSV dump (chronological): time_us, event, packet, flow, queue, port_bytes.
   void write_csv(const std::string& path) const;
 
+  /// NDJSON dump (chronological): one JSON object per line with keys
+  /// t_us, event, packet, flow, queue, port_bytes.
+  void write_ndjson(const std::string& path) const;
+
  private:
+  void bump(const Record& rec, int delta) {
+    const auto k = static_cast<std::size_t>(rec.kind);
+    counts_[k] += static_cast<std::size_t>(delta);
+    if (rec.queue >= queue_counts_.size()) queue_counts_.resize(rec.queue + 1);
+    queue_counts_[rec.queue][k] += static_cast<std::size_t>(delta);
+  }
+
   std::size_t capacity_;
+  OverflowPolicy policy_;
   net::FlowId flow_filter_ = 0;
   std::vector<Record> records_;
+  std::size_t write_ = 0;  ///< ring mode: index of the oldest record
   std::uint64_t overflow_ = 0;
+  std::array<std::size_t, kNumEventKinds> counts_{};
+  std::vector<std::array<std::size_t, kNumEventKinds>> queue_counts_;
 };
 
 }  // namespace pmsb::trace

@@ -26,6 +26,7 @@
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pmsb::transport {
 
@@ -70,6 +71,23 @@ class DcqcnSender {
   }
   [[nodiscard]] const DcqcnSenderStats& stats() const { return stats_; }
   [[nodiscard]] net::FlowId flow_id() const { return flow_; }
+
+  /// Registers this reaction point's instruments under `labels`: the
+  /// DcqcnSenderStats cells as bound counters plus live Rc / Rt / alpha
+  /// probe gauges.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    const telemetry::Labels& labels) {
+    registry.bind_counter("dcqcn.packets_sent", labels, &stats_.packets_sent,
+                          "packets");
+    registry.bind_counter("dcqcn.cnps_received", labels, &stats_.cnps_received,
+                          "cnps");
+    registry.bind_counter("dcqcn.rate_cuts", labels, &stats_.rate_cuts, "cuts");
+    registry.bind_counter("dcqcn.increase_rounds", labels, &stats_.increase_rounds,
+                          "rounds");
+    registry.gauge_fn("dcqcn.rate_bps", labels, [this] { return rc_; }, "bps");
+    registry.gauge_fn("dcqcn.target_rate_bps", labels, [this] { return rt_; }, "bps");
+    registry.gauge_fn("dcqcn.alpha", labels, [this] { return alpha_; }, "fraction");
+  }
 
  private:
   void send_next();

@@ -42,6 +42,22 @@ DctcpSender::~DctcpSender() {
   completed_ = true;
 }
 
+void DctcpSender::bind_metrics(telemetry::MetricsRegistry& registry,
+                               const telemetry::Labels& labels) {
+  registry.bind_counter("transport.segments_sent", labels, &stats_.segments_sent,
+                        "segments");
+  registry.bind_counter("transport.retransmits", labels, &stats_.retransmits,
+                        "segments");
+  registry.bind_counter("transport.timeouts", labels, &stats_.timeouts, "timeouts");
+  registry.bind_counter("transport.acks_received", labels, &stats_.acks_received,
+                        "acks");
+  registry.bind_counter("transport.ece_acks", labels, &stats_.ece_acks, "acks");
+  registry.bind_counter("transport.ece_ignored", labels, &stats_.ece_ignored, "acks");
+  registry.bind_counter("transport.window_cuts", labels, &stats_.window_cuts, "cuts");
+  registry.gauge_fn("transport.cwnd_bytes", labels, [this] { return cwnd_; }, "bytes");
+  registry.gauge_fn("transport.alpha", labels, [this] { return alpha_; }, "fraction");
+}
+
 void DctcpSender::start(TimeNs at) {
   if (started_) return;
   started_ = true;

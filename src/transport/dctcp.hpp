@@ -25,6 +25,7 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/rtt_estimator.hpp"
 
 namespace pmsb::transport {
@@ -119,6 +120,11 @@ class DctcpSender {
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
   /// Observer invoked per RTT sample (for the paper's RTT CDFs).
   void set_rtt_observer(std::function<void(TimeNs)> obs) { rtt_observer_ = std::move(obs); }
+
+  /// Registers this sender's instruments under `labels`: every SenderStats
+  /// cell as a bound counter plus live cwnd / alpha probe gauges.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    const telemetry::Labels& labels);
 
   // --- Introspection ---
   [[nodiscard]] double cwnd_bytes() const { return cwnd_; }

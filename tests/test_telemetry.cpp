@@ -1,0 +1,481 @@
+// Tests for the telemetry subsystem: registry semantics, histogram bucket
+// edges, sampler period alignment, the run-manifest JSON (round-tripped
+// through a minimal parser defined below), and the PortStats == registry
+// regression on a real dumbbell run.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiments/dumbbell.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/sampler.hpp"
+
+using namespace pmsb;
+using namespace pmsb::telemetry;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to round-trip a run manifest. Numbers are
+// doubles; objects are ordered maps keyed by string.
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of JSON");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  bool consume_literal(const std::string& lit) {
+    skip_ws();
+    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.str = parse_string();
+      return v;
+    }
+    JsonValue v;
+    if (consume_literal("true")) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    v.type = JsonValue::Type::kNumber;
+    std::size_t used = 0;
+    v.number = std::stod(s_.substr(pos_), &used);
+    if (used == 0) throw std::runtime_error("bad JSON number");
+    pos_ += used;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // Manifest strings only escape control chars; decode as a byte.
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u escape");
+            out += static_cast<char>(std::stoi(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: throw std::runtime_error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') throw std::runtime_error("expected ',' in array");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.object[key] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') throw std::runtime_error("expected ',' in object");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+
+TEST(InstrumentKey, SortsLabelsAndFormats) {
+  EXPECT_EQ(instrument_key("port.marks", {}), "port.marks");
+  EXPECT_EQ(instrument_key("port.marks", {{"queue", "3"}, {"port", "0"}}),
+            "port.marks{port=0,queue=3}");
+}
+
+TEST(MetricsRegistry, OwnedCounterReRegistrationReturnsSameCell) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count", {}, "events");
+  a.inc(3);
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_DOUBLE_EQ(reg.value("x.count"), 3.0);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishInstruments) {
+  MetricsRegistry reg;
+  Counter& q0 = reg.counter("port.marks", {{"queue", "0"}});
+  Counter& q1 = reg.counter("port.marks", {{"queue", "1"}});
+  EXPECT_NE(&q0, &q1);
+  q0.inc(5);
+  q1.inc(7);
+  EXPECT_DOUBLE_EQ(reg.value("port.marks", {{"queue", "0"}}), 5.0);
+  EXPECT_DOUBLE_EQ(reg.value("port.marks", {{"queue", "1"}}), 7.0);
+  // Label order must not matter for identity.
+  EXPECT_TRUE(reg.has("port.marks", {{"queue", "0"}}));
+  Counter& again = reg.counter("port.marks", {{"queue", "0"}});
+  EXPECT_EQ(&again, &q0);
+}
+
+TEST(MetricsRegistry, KindClashThrows) {
+  MetricsRegistry reg;
+  reg.counter("thing");
+  EXPECT_THROW(reg.gauge("thing"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("thing", {1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, DuplicateBindThrows) {
+  MetricsRegistry reg;
+  std::uint64_t cell = 42;
+  reg.bind_counter("port.drops", {}, &cell);
+  EXPECT_THROW(reg.bind_counter("port.drops", {}, &cell), std::invalid_argument);
+  EXPECT_THROW(reg.bind_counter("null.cell", {}, nullptr), std::invalid_argument);
+  cell = 99;
+  EXPECT_DOUBLE_EQ(reg.value("port.drops"), 99.0);  // reads the live cell
+}
+
+TEST(MetricsRegistry, ProbeInstrumentsEvaluateAtCollect) {
+  MetricsRegistry reg;
+  std::uint64_t n = 0;
+  double g = 0.0;
+  reg.counter_fn("fn.count", {}, [&n] { return n; });
+  reg.gauge_fn("fn.gauge", {}, [&g] { return g; });
+  n = 12;
+  g = 2.5;
+  const auto snaps = reg.collect();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(snaps[0].value, 12.0);
+  EXPECT_DOUBLE_EQ(snaps[1].value, 2.5);
+  EXPECT_EQ(snaps[0].kind, InstrumentKind::kCounter);
+  EXPECT_EQ(snaps[1].kind, InstrumentKind::kGauge);
+}
+
+TEST(MetricsRegistry, ValueOnHistogramThrows) {
+  MetricsRegistry reg;
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(reg.value("h"), std::invalid_argument);
+  EXPECT_THROW(reg.value("missing"), std::out_of_range);
+  EXPECT_NO_THROW(reg.histogram_at("h"));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket edges
+
+TEST(Histogram, InclusiveUpperEdges) {
+  Histogram h({1.0, 5.0, 10.0});
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 bounds + overflow
+  h.observe(1.0);    // lands in [.., 1]
+  h.observe(1.0001); // lands in (1, 5]
+  h.observe(5.0);    // lands in (1, 5]
+  h.observe(10.0);   // lands in (5, 10]
+  h.observe(10.5);   // overflow
+  h.observe(-3.0);   // below the first bound -> first bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.0001 + 5.0 + 10.0 + 10.5 - 3.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 1.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+}
+
+TEST(Histogram, NonIncreasingBoundsThrow) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+
+TEST(TimeSeriesSampler, RowsAlignWithSchedulePeriod) {
+  sim::Simulator simulator;
+  TimeSeriesSampler sampler(simulator, sim::microseconds(100));
+  double live = 0.0;
+  sampler.add_probe("live", [&live] { return live; });
+  // Drive the probe from simulator events between samples.
+  for (int k = 0; k < 10; ++k) {
+    simulator.schedule_at(sim::microseconds(100 * k + 50), [&live] { live += 1.0; });
+  }
+  sampler.start();
+  simulator.run(sim::microseconds(1000));
+  sampler.stop();
+
+  // Samples at t = 0, 100, ..., 1000 us.
+  ASSERT_EQ(sampler.rows(), 11u);
+  for (std::size_t k = 0; k < sampler.rows(); ++k) {
+    EXPECT_DOUBLE_EQ(sampler.times_us()[k], 100.0 * static_cast<double>(k));
+    // By sample k, exactly k bump events (at 50, 150, ...) have fired.
+    EXPECT_DOUBLE_EQ(sampler.column(0)[k], std::min<double>(static_cast<double>(k), 10.0));
+  }
+}
+
+TEST(TimeSeriesSampler, RateColumnIsDeltaPerSecond) {
+  sim::Simulator simulator;
+  TimeSeriesSampler sampler(simulator, sim::microseconds(100));
+  std::uint64_t count = 0;
+  sampler.add_rate("rate", [&count] { return count; });
+  for (int k = 0; k < 5; ++k) {
+    // 3 events inside every sampling interval.
+    simulator.schedule_at(sim::microseconds(100 * k + 10), [&count] { count += 3; });
+  }
+  sampler.start();
+  simulator.run(sim::microseconds(500));
+  sampler.stop();
+
+  ASSERT_EQ(sampler.rows(), 6u);
+  EXPECT_DOUBLE_EQ(sampler.column(0)[0], 0.0);  // nothing before the first tick
+  for (std::size_t k = 1; k < sampler.rows(); ++k) {
+    // 3 events per 100 us = 30000 events/s.
+    EXPECT_DOUBLE_EQ(sampler.column(0)[k], 30000.0);
+  }
+}
+
+TEST(TimeSeriesSampler, StopCancelsFutureSamples) {
+  sim::Simulator simulator;
+  TimeSeriesSampler sampler(simulator, sim::microseconds(100));
+  sampler.add_probe("zero", [] { return 0.0; });
+  sampler.start();
+  simulator.run(sim::microseconds(250));
+  sampler.stop();
+  const std::size_t rows_at_stop = sampler.rows();
+  simulator.run(sim::microseconds(1000));
+  EXPECT_EQ(sampler.rows(), rows_at_stop);
+  EXPECT_TRUE(simulator.empty());  // no orphaned self-rescheduling event
+}
+
+// ---------------------------------------------------------------------------
+// Run manifest JSON
+
+TEST(RunManifest, JsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  reg.counter("events.total", {}, "events").inc(41);
+  reg.counter("port.marks", {{"queue", "0"}, {"port", "a\"b"}}, "packets").inc(7);
+  Histogram& h = reg.histogram("sojourn_us", {1.0, 10.0}, {}, "us");
+  h.observe(0.5);
+  h.observe(100.0);
+
+  RunManifest manifest("test_tool");
+  manifest.set_seed(1234);
+  manifest.set_config_value("scheme", "pmsb");
+  manifest.set_config_value("weird", "tab\there");
+  manifest.set_info("topology", "none");
+  manifest.set_result("fct_us.mean", 12.5);
+  manifest.set_sim_time_us(777.0);
+
+  const std::string json = manifest.to_json(&reg);
+  const JsonValue root = JsonParser(json).parse();
+
+  EXPECT_EQ(root.at("schema").str, "pmsb.run_manifest/1");
+  EXPECT_EQ(root.at("tool").str, "test_tool");
+  EXPECT_EQ(root.at("git").str, std::string(build_git_describe()));
+  EXPECT_DOUBLE_EQ(root.at("seed").number, 1234.0);
+  EXPECT_GE(root.at("wall_clock_s").number, 0.0);
+  EXPECT_DOUBLE_EQ(root.at("sim_time_us").number, 777.0);
+  EXPECT_EQ(root.at("config").at("scheme").str, "pmsb");
+  EXPECT_EQ(root.at("config").at("weird").str, "tab\there");
+  EXPECT_EQ(root.at("info").at("topology").str, "none");
+  EXPECT_DOUBLE_EQ(root.at("results").at("fct_us.mean").number, 12.5);
+
+  const auto& metrics = root.at("metrics").array;
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].at("name").str, "events.total");
+  EXPECT_EQ(metrics[0].at("kind").str, "counter");
+  EXPECT_EQ(metrics[0].at("unit").str, "events");
+  EXPECT_DOUBLE_EQ(metrics[0].at("value").number, 41.0);
+
+  EXPECT_EQ(metrics[1].at("labels").at("queue").str, "0");
+  EXPECT_EQ(metrics[1].at("labels").at("port").str, "a\"b");  // escaping survived
+  EXPECT_DOUBLE_EQ(metrics[1].at("value").number, 7.0);
+
+  EXPECT_EQ(metrics[2].at("kind").str, "histogram");
+  EXPECT_DOUBLE_EQ(metrics[2].at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(metrics[2].at("sum").number, 100.5);
+  const auto& buckets = metrics[2].at("buckets").array;
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].at("le").number, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[0].at("count").number, 1.0);
+  EXPECT_EQ(buckets[2].at("le").str, "inf");
+  EXPECT_DOUBLE_EQ(buckets[2].at("count").number, 1.0);
+}
+
+TEST(RunManifest, NullRegistryMeansEmptyMetrics) {
+  RunManifest manifest("t");
+  const JsonValue root = JsonParser(manifest.to_json(nullptr)).parse();
+  EXPECT_TRUE(root.at("metrics").array.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator kernel binding + dumbbell regression
+
+TEST(BindSimulatorMetrics, ExposesKernelCounters) {
+  sim::Simulator simulator;
+  MetricsRegistry reg;
+  bind_simulator_metrics(reg, simulator);
+  const auto id = simulator.schedule_in(10, [] {});
+  simulator.schedule_in(20, [] {});
+  simulator.cancel(id);
+  simulator.run();
+  EXPECT_DOUBLE_EQ(reg.value("sim.events_executed"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.value("sim.events_cancelled"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.value("sim.pending_events"), 0.0);
+  EXPECT_GE(reg.value("sim.max_heap_depth"), 2.0);
+}
+
+TEST(DumbbellTelemetry, RegistryMatchesPortStats) {
+  experiments::DumbbellConfig cfg;
+  cfg.num_senders = 3;
+  cfg.scheduler.kind = sched::SchedulerKind::kDwrr;
+  cfg.scheduler.num_queues = 2;
+  cfg.scheduler.weights = {1.0, 1.0};
+  cfg.marking.kind = ecn::MarkingKind::kPmsb;
+  cfg.marking.threshold_bytes = 12 * 1500;
+  cfg.marking.weights = cfg.scheduler.weights;
+  experiments::DumbbellScenario sc(cfg);
+  sc.add_flow({.sender = 0, .service = 0, .bytes = 0, .start = 0});
+  sc.add_flow({.sender = 1, .service = 1, .bytes = 0, .start = 0});
+  sc.add_flow({.sender = 2, .service = 1, .bytes = 0, .start = 0});
+
+  MetricsRegistry reg;
+  bind_simulator_metrics(reg, sc.simulator());
+  sc.bind_metrics(reg);
+  EXPECT_GE(reg.size(), 20u);
+
+  sc.run(sim::milliseconds(10));
+
+  const auto& stats = sc.bottleneck().stats();
+  EXPECT_GT(stats.enqueued_packets, 0u);
+  const Labels port{{"port", "bottleneck"}};
+  auto with_queue = [&port](std::size_t q) {
+    Labels l = port;
+    l.emplace_back("queue", std::to_string(q));
+    return l;
+  };
+  EXPECT_DOUBLE_EQ(reg.value("port.enqueued_packets", port),
+                   static_cast<double>(stats.enqueued_packets));
+  EXPECT_DOUBLE_EQ(reg.value("port.dequeued_packets", port),
+                   static_cast<double>(stats.dequeued_packets));
+  EXPECT_DOUBLE_EQ(reg.value("port.dropped_packets", port),
+                   static_cast<double>(stats.dropped_packets));
+  EXPECT_DOUBLE_EQ(reg.value("port.marked_enqueue", port),
+                   static_cast<double>(stats.marked_enqueue));
+  for (std::size_t q = 0; q < 2; ++q) {
+    EXPECT_DOUBLE_EQ(reg.value("port.marks", with_queue(q)),
+                     static_cast<double>(stats.marked_per_queue[q]));
+    EXPECT_DOUBLE_EQ(reg.value("sched.served_bytes", with_queue(q)),
+                     static_cast<double>(sc.served_bytes(q)));
+  }
+  // Drop reasons sum to the total drop counter.
+  double reason_sum = 0.0;
+  for (const char* reason : {"port_budget", "dynamic_threshold", "pool_exhausted"}) {
+    Labels l = port;
+    l.emplace_back("reason", reason);
+    reason_sum += reg.value("port.drops", l);
+  }
+  EXPECT_DOUBLE_EQ(reason_sum, static_cast<double>(stats.dropped_packets));
+  // PMSB's scheme instruments came along via Port::bind_metrics.
+  EXPECT_GT(reg.value("ecn.threshold_evals", port), 0.0);
+  // Transport instruments per flow.
+  EXPECT_GT(reg.value("transport.segments_sent", {{"flow", "0"}}), 0.0);
+  EXPECT_GT(reg.value("transport.cwnd_bytes", {{"flow", "0"}}), 0.0);
+  // Kernel counters are live.
+  EXPECT_GT(reg.value("sim.events_executed"), 0.0);
+}

@@ -41,6 +41,54 @@ TEST(Tracer, CapacityBoundWithOverflowCount) {
   EXPECT_EQ(t.overflow(), 0u);
 }
 
+TEST(Tracer, RingBufferKeepsTail) {
+  Tracer t(3, OverflowPolicy::kRingBuffer);
+  for (std::uint64_t i = 1; i <= 7; ++i) {
+    // Alternate queues so the incremental per-queue counts get exercised.
+    t.record({sim::TimeNs(i), i % 2 == 0 ? EventKind::kMark : EventKind::kEnqueue,
+              i, 1, i % 2, i * 100});
+  }
+  // Records 5, 6, 7 survive; 4 were evicted.
+  EXPECT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.overflow(), 4u);
+  std::vector<std::uint64_t> order;
+  t.for_each_chronological([&order](const Record& r) { order.push_back(r.packet); });
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{5, 6, 7}));
+  // O(1) counts reflect only the retained tail: 5,7 enqueue on q1; 6 mark q0.
+  EXPECT_EQ(t.count(EventKind::kEnqueue), 2u);
+  EXPECT_EQ(t.count(EventKind::kMark), 1u);
+  EXPECT_EQ(t.count_queue(EventKind::kEnqueue, 1), 2u);
+  EXPECT_EQ(t.count_queue(EventKind::kMark, 0), 1u);
+  EXPECT_EQ(t.count_queue(EventKind::kMark, 1), 0u);
+}
+
+TEST(Tracer, ZeroCapacityNeverStores) {
+  Tracer t(0, OverflowPolicy::kRingBuffer);
+  t.record({0, EventKind::kEnqueue, 1, 1, 0, 0});
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.overflow(), 1u);
+  EXPECT_EQ(t.count(EventKind::kEnqueue), 0u);
+}
+
+TEST(Tracer, NdjsonDumpIsChronologicalAfterWrap) {
+  Tracer t(2, OverflowPolicy::kRingBuffer);
+  t.record({sim::microseconds(1), EventKind::kEnqueue, 1, 9, 0, 100});
+  t.record({sim::microseconds(2), EventKind::kMark, 2, 9, 1, 200});
+  t.record({sim::microseconds(3), EventKind::kDrop, 3, 9, 1, 300});  // evicts #1
+  const std::string path = std::string(::testing::TempDir()) + "/trace_events.ndjson";
+  t.write_ndjson(path);
+  std::ifstream in(path);
+  std::string line1, line2, line3;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_FALSE(std::getline(in, line3));
+  EXPECT_NE(line1.find("\"t_us\":2"), std::string::npos);
+  EXPECT_NE(line1.find("\"event\":\"mark\""), std::string::npos);
+  EXPECT_NE(line2.find("\"t_us\":3"), std::string::npos);
+  EXPECT_NE(line2.find("\"event\":\"drop\""), std::string::npos);
+  EXPECT_NE(line2.find("\"queue\":1"), std::string::npos);
+}
+
 TEST(Tracer, CsvDump) {
   Tracer t;
   t.record({sim::microseconds(5), EventKind::kMark, 42, 9, 1, 4500});

@@ -16,11 +16,18 @@
 //   weights    comma list, one per queue           (default all 1)
 //   rtt_us     RTT used in the threshold formulas  (default 18 / 85.2)
 //   mark_point enqueue | dequeue                   (default enqueue)
+// Telemetry keys (both topologies):
+//   metrics_json      path: write a pmsb.run_manifest/1 JSON (config echo,
+//                     seed, git describe, FCT results, every instrument)
+//   timeseries_csv    path: sample per-port occupancy / mark rate into a
+//                     columnar CSV while the run executes
+//   sample_period_us  sampling period for timeseries_csv (default 100)
 // Dumbbell keys: flows_per_queue (e.g. "1,8"), duration_ms, link_gbps,
 //                link_delay_us
 // Leaf-spine keys: load, flows, seed, workload (paper-mix | web-search |
 //                data-mining), fct_csv (path to dump per-flow records)
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 
 #include "experiments/dumbbell.hpp"
@@ -31,6 +38,9 @@
 #include "stats/csv.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/sampler.hpp"
 #include "workload/size_dist.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -50,6 +60,54 @@ Scheme parse_scheme(const std::string& s) {
   if (s == "none") return Scheme::kNone;
   throw std::invalid_argument("unknown scheme: " + s);
 }
+
+/// Optional telemetry wiring shared by both topologies: a metrics registry +
+/// run manifest when `metrics_json=` is given, a time-series sampler when
+/// `timeseries_csv=` is given. Constructing it starts the wall clock.
+struct RunTelemetry {
+  explicit RunTelemetry(const Options& opts)
+      : metrics_path(opts.get("metrics_json")),
+        ts_path(opts.get("timeseries_csv")),
+        period(sim::microseconds_f(opts.get_double("sample_period_us", 100.0))) {
+    manifest.set_config(opts.values());
+  }
+
+  /// Binds the scenario's instruments and starts the sampler. Call once the
+  /// scenario has its flows (per-flow instruments bind at call time).
+  template <typename Scenario>
+  void attach(Scenario& sc) {
+    if (!metrics_path.empty()) {
+      telemetry::bind_simulator_metrics(registry, sc.simulator());
+      sc.bind_metrics(registry);
+    }
+    if (!ts_path.empty()) {
+      sampler = std::make_unique<telemetry::TimeSeriesSampler>(sc.simulator(), period);
+      sc.add_sampler_columns(*sampler);
+      sampler->start();
+    }
+  }
+
+  void finish(double sim_time_us) {
+    if (sampler) {
+      sampler->write_csv(ts_path);
+      std::printf("wrote %s (%zu samples x %zu columns)\n", ts_path.c_str(),
+                  sampler->rows(), sampler->num_columns());
+    }
+    if (!metrics_path.empty()) {
+      manifest.set_sim_time_us(sim_time_us);
+      manifest.write(metrics_path, &registry);
+      std::printf("wrote %s (%zu instruments)\n", metrics_path.c_str(),
+                  registry.size());
+    }
+  }
+
+  std::string metrics_path;
+  std::string ts_path;
+  sim::TimeNs period;
+  telemetry::MetricsRegistry registry;
+  telemetry::RunManifest manifest{"pmsbsim"};
+  std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+};
 
 int run_dumbbell(const Options& opts) {
   DumbbellConfig cfg;
@@ -100,6 +158,13 @@ int run_dumbbell(const Options& opts) {
     }
   }
 
+  RunTelemetry telemetry(opts);
+  telemetry.attach(sc);
+  telemetry.manifest.set_seed(static_cast<std::uint64_t>(opts.get_int("seed", 0)));
+  telemetry.manifest.set_info("topology", "dumbbell");
+  telemetry.manifest.set_info("scheme", scheme_name(scheme));
+  telemetry.manifest.set_info("scheduler", sc.bottleneck().scheduler().name());
+
   const auto duration = sim::milliseconds(opts.get_int("duration_ms", 50));
   sc.run(sim::milliseconds(10));
   std::vector<std::uint64_t> start(queues);
@@ -122,6 +187,15 @@ int run_dumbbell(const Options& opts) {
               static_cast<unsigned long long>(sc.bottleneck().stats().marked_enqueue +
                                               sc.bottleneck().stats().marked_dequeue),
               static_cast<unsigned long long>(sc.bottleneck().stats().dropped_packets));
+
+  for (std::size_t q = 0; q < queues; ++q) {
+    const double gbps = static_cast<double>(sc.served_bytes(q) - start[q]) * 8.0 /
+                        static_cast<double>(duration);
+    telemetry.manifest.set_result("throughput_gbps.q" + std::to_string(q), gbps);
+  }
+  telemetry.manifest.set_result("rtt_us.mean", rtt.mean());
+  telemetry.manifest.set_result("rtt_us.p99", rtt.percentile(99));
+  telemetry.finish(sim::to_microseconds(sc.simulator().now()));
   return 0;
 }
 
@@ -155,8 +229,18 @@ int run_leafspine(const Options& opts) {
   tc.num_services = static_cast<std::uint8_t>(queues);
   const auto dist =
       workload::FlowSizeDistribution::by_name(opts.get("workload", "paper-mix"));
-  sim::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  sim::Rng rng(seed);
   sc.add_workload(workload::generate_poisson_traffic(tc, dist, rng));
+
+  RunTelemetry telemetry(opts);
+  telemetry.attach(sc);
+  telemetry.manifest.set_seed(seed);
+  telemetry.manifest.set_info("topology", "leafspine");
+  telemetry.manifest.set_info("scheme", scheme_name(scheme));
+  telemetry.manifest.set_info("scheduler",
+                              sched::scheduler_kind_name(cfg.scheduler.kind));
+  telemetry.manifest.set_info("workload", opts.get("workload", "paper-mix"));
 
   const bool done = sc.run_until_complete(sim::seconds(opts.get_int("max_sim_s", 60)));
   std::printf("leafspine: %s + %s, load %.2f, %zu/%zu flows done%s\n",
@@ -180,6 +264,21 @@ int run_leafspine(const Options& opts) {
     stats::write_fct_csv(opts.get("fct_csv"), sc.fct());
     std::printf("wrote %s\n", opts.get("fct_csv").c_str());
   }
+
+  telemetry.manifest.set_info("all_flows_completed", done ? "true" : "false");
+  telemetry.manifest.set_result("flows_completed",
+                                static_cast<double>(sc.completed_flows()));
+  telemetry.manifest.set_result("flows_total", static_cast<double>(sc.total_flows()));
+  auto record_fct = [&telemetry](const std::string& bin, const stats::Summary& s) {
+    telemetry.manifest.set_result("fct_us." + bin + ".mean", s.mean());
+    telemetry.manifest.set_result("fct_us." + bin + ".p95", s.percentile(95));
+    telemetry.manifest.set_result("fct_us." + bin + ".p99", s.percentile(99));
+  };
+  record_fct("small", sc.fct().fct_us(stats::SizeBin::kSmall));
+  record_fct("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
+  record_fct("large", sc.fct().fct_us(stats::SizeBin::kLarge));
+  record_fct("overall", sc.fct().overall_fct_us());
+  telemetry.finish(sim::to_microseconds(sc.simulator().now()));
   return 0;
 }
 
