@@ -1,0 +1,68 @@
+// Sweep runner benchmark: determinism + parallel speedup.
+//
+// Runs the same 16-point leaf-spine grid (4 loads x 4 schemes) twice — once
+// serially (jobs=1) and once across the worker pool — and checks that every
+// per-run deterministic_signature() is bit-identical between the two. On an
+// 8-core host the parallel pass should land near-linear (>= 3x); on small
+// hosts the determinism check is the point and the speedup line is
+// informational.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fct_common.hpp"
+#include "sweep/sweep.hpp"
+
+using namespace pmsb;
+
+namespace {
+
+double timed_sweep(const std::vector<sweep::SweepPoint>& points, std::size_t jobs,
+                   std::vector<sweep::RunRecord>& records) {
+  sweep::SweepConfig cfg;
+  cfg.jobs = jobs;
+  const auto t0 = std::chrono::steady_clock::now();
+  records = sweep::run_sweep(points, cfg);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Sweep runner — parallel fan-out of deterministic runs",
+      "16-point leaf-spine grid (4 loads x 4 schemes), jobs=1 vs worker pool",
+      "per-run results bit-identical across jobs; near-linear speedup on"
+      " multi-core hosts");
+
+  experiments::Options base;
+  base.set("topology", "leafspine");
+  base.set("flows", std::to_string(bench::scaled(120, 400)));
+  base.set("seed", "42");
+  const auto points = sweep::expand_grid(
+      base, "load:0.3,0.5,0.7,0.9;scheme:pmsb,pmsbe,mq-ecn,tcn");
+
+  const std::size_t jobs = bench::bench_jobs();
+  std::vector<sweep::RunRecord> serial, parallel;
+  const double t_serial = timed_sweep(points, 1, serial);
+  const double t_parallel = timed_sweep(points, jobs, parallel);
+
+  std::size_t mismatches = 0, failures = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!serial[i].ok || !parallel[i].ok) ++failures;
+    if (sweep::deterministic_signature(serial[i]) !=
+        sweep::deterministic_signature(parallel[i])) {
+      ++mismatches;
+      std::printf("MISMATCH [%zu] %s\n", i, serial[i].label.c_str());
+    }
+  }
+
+  std::printf("points=%zu  jobs=%zu\n", points.size(), jobs);
+  std::printf("serial   : %.2f s\n", t_serial);
+  std::printf("parallel : %.2f s  (speedup %.2fx)\n", t_parallel,
+              t_parallel > 0 ? t_serial / t_parallel : 0.0);
+  std::printf("signatures: %s (%zu mismatches, %zu failed runs)\n",
+              mismatches == 0 && failures == 0 ? "IDENTICAL" : "DIFFER",
+              mismatches, failures);
+  return (mismatches == 0 && failures == 0) ? 0 : 1;
+}

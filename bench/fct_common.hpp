@@ -9,13 +9,16 @@
 // formulas the paper uses.
 #pragma once
 
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "experiments/leafspine.hpp"
 #include "experiments/presets.hpp"
 #include "sim/rng.hpp"
+#include "sweep/sweep.hpp"
 #include "workload/size_dist.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -108,13 +111,33 @@ inline std::vector<std::uint64_t> default_seeds() {
                       : std::vector<std::uint64_t>{42, 43, 44};
 }
 
-/// Runs one (scheme, scheduler, load) cell once per seed and averages every
-/// metric — tail percentiles over a few hundred flows are noisy otherwise.
-inline FctResult run_fct_cell(FctRunConfig rc, const std::vector<std::uint64_t>& seeds) {
+/// Worker threads for the grid benches: PMSB_BENCH_JOBS overrides, default
+/// is the hardware concurrency (at least 1).
+inline std::size_t bench_jobs() {
+  if (const char* v = std::getenv("PMSB_BENCH_JOBS")) {
+    const long n = std::atol(v);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+/// Runs every cell as an isolated single-threaded simulator across `jobs`
+/// worker threads. Results land in input order, so any aggregation done on
+/// them is bit-identical regardless of jobs.
+inline std::vector<FctResult> run_fct_grid(const std::vector<FctRunConfig>& cells,
+                                           std::size_t jobs) {
+  std::vector<FctResult> out(cells.size());
+  sweep::parallel_for(cells.size(), jobs,
+                      [&](std::size_t i) { out[i] = run_fct_experiment(cells[i]); });
+  return out;
+}
+
+/// Averages per-seed runs of one (scheme, scheduler, load) cell — tail
+/// percentiles over a few hundred flows are noisy otherwise.
+inline FctResult aggregate_fct_cell(const std::vector<FctResult>& runs) {
   FctResult acc;
-  for (std::uint64_t seed : seeds) {
-    rc.seed = seed;
-    const FctResult r = run_fct_experiment(rc);
+  for (const FctResult& r : runs) {
     acc.overall_avg += r.overall_avg;
     acc.large_avg += r.large_avg;
     acc.large_p99 += r.large_p99;
@@ -125,7 +148,7 @@ inline FctResult run_fct_cell(FctRunConfig rc, const std::vector<std::uint64_t>&
     acc.drops += r.drops;
     acc.completed = acc.completed || r.completed;
   }
-  const double n = static_cast<double>(seeds.size());
+  const double n = static_cast<double>(runs.size());
   acc.overall_avg /= n;
   acc.large_avg /= n;
   acc.large_p99 /= n;
@@ -133,6 +156,19 @@ inline FctResult run_fct_cell(FctRunConfig rc, const std::vector<std::uint64_t>&
   acc.small_p95 /= n;
   acc.small_p99 /= n;
   return acc;
+}
+
+/// Runs one (scheme, scheduler, load) cell once per seed (optionally in
+/// parallel) and averages every metric.
+inline FctResult run_fct_cell(FctRunConfig rc, const std::vector<std::uint64_t>& seeds,
+                              std::size_t jobs = 1) {
+  std::vector<FctRunConfig> cells;
+  cells.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    rc.seed = seed;
+    cells.push_back(rc);
+  }
+  return aggregate_fct_cell(run_fct_grid(cells, jobs));
 }
 
 }  // namespace pmsb::bench

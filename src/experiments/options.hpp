@@ -23,6 +23,7 @@ class Options {
   static Options from_file(const std::string& path);
 
   void set(const std::string& key, const std::string& value) { values_[key] = value; }
+  void erase(const std::string& key) { values_.erase(key); }
   void merge_from(const Options& other);  ///< other's values win
 
   [[nodiscard]] bool has(const std::string& key) const {

@@ -17,6 +17,7 @@ std::size_t DwrrScheduler::select_queue(TimeNs now) {
   // With fractional weights a queue may need several rounds to accumulate a
   // packet's worth of deficit; bound the spin generously.
   const std::size_t max_visits = 64 * num_queues() + 64;
+  bool round_reported = false;
   for (std::size_t visits = 0; visits < max_visits; ++visits) {
     const std::size_t q = cursor_;
     if (!quantum_added_this_visit_ && backlogged(q)) {
@@ -31,7 +32,16 @@ std::size_t DwrrScheduler::select_queue(TimeNs now) {
     if (!backlogged(q)) deficit_[q] = 0;  // forfeit on going idle
     quantum_added_this_visit_ = false;
     cursor_ = (cursor_ + 1) % num_queues();
-    if (cursor_ == 0) notify_round_complete(now);
+    // A round in MQ-ECN's sense (Eq. 3) is the interval between consecutive
+    // scheduling opportunities of a queue — it is observable only through
+    // packet service. Extra cursor wraps inside one selection are deficit
+    // accumulation for the SAME opportunity at the same instant; reporting
+    // each wrap would feed zero-length T_round samples to the observer and
+    // inflate every MQ-ECN threshold to the standard (non-adaptive) value.
+    if (cursor_ == 0 && !round_reported) {
+      notify_round_complete(now);
+      round_reported = true;
+    }
   }
   throw std::logic_error("DwrrScheduler: no eligible queue after bounded spin");
 }

@@ -1,12 +1,15 @@
 #include "sim/logging.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
 namespace pmsb::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kNone;
+// Atomic because the sweep runner's worker threads consult the level
+// concurrently; it is set once at startup, so relaxed ordering suffices.
+std::atomic<LogLevel> g_level{LogLevel::kNone};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,11 +23,11 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void log(LogLevel level, TimeNs t, const char* fmt, ...) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
   va_list args;
   va_start(args, fmt);
   va_list args_copy;

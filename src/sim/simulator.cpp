@@ -16,17 +16,23 @@ EventId Simulator::schedule_at(TimeNs t, Callback fn) {
   }
   const EventId id = next_id_++;
   heap_.push(Event{t, id, std::move(fn)});
+  pending_.insert(id);
   ++live_events_;
   max_heap_depth_ = std::max(max_heap_depth_, heap_.size());
   return id;
 }
 
 void Simulator::cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) return;
-  if (cancelled_.insert(id).second && live_events_ > 0) {
-    --live_events_;
-    ++cancelled_events_;
-  }
+  // Only ids that are still pending may be cancelled: an already-fired id
+  // is no longer live (decrementing live_events_ would corrupt the count)
+  // and will never be popped again (its cancelled_ tombstone would leak).
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  pending_.erase(it);
+  cancelled_.insert(id);
+  assert(live_events_ > 0);
+  --live_events_;
+  ++cancelled_events_;
 }
 
 bool Simulator::step(TimeNs until) {
@@ -44,6 +50,7 @@ bool Simulator::step(TimeNs until) {
     // Move the callback out before popping so re-entrant schedules are safe.
     Event ev = std::move(const_cast<Event&>(top));
     heap_.pop();
+    pending_.erase(ev.id);
     assert(live_events_ > 0);
     --live_events_;
     now_ = ev.time;

@@ -47,8 +47,10 @@ class Simulator {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event. Cancelling an already-fired or invalid handle
-  /// is a no-op. Cancelled events stay in the heap but are skipped lazily.
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled,
+  /// or invalid handle is a true no-op (the kernel tracks which ids are still
+  /// pending, so stale handles cannot corrupt the live-event count or leak
+  /// tombstones). Cancelled events stay in the heap but are skipped lazily.
   void cancel(EventId id);
 
   /// Runs until the event queue is empty or `until` is reached (events with
@@ -85,6 +87,15 @@ class Simulator {
   /// dispatch_profiling_enabled().
   [[nodiscard]] std::uint64_t dispatch_wall_ns() const { return dispatch_wall_ns_; }
 
+  /// Allocates the next packet id for this run. Packet ids are kernel state
+  /// (not process-global) so that every run numbers its packets from 1
+  /// regardless of what ran earlier in the process — a prerequisite for
+  /// bit-identical repeat runs and for running simulators on multiple
+  /// threads.
+  [[nodiscard]] std::uint64_t allocate_packet_id() { return ++last_packet_id_; }
+  /// Packet ids handed out so far (equals the id of the newest packet).
+  [[nodiscard]] std::uint64_t packet_ids_allocated() const { return last_packet_id_; }
+
  private:
   struct Event {
     TimeNs time = 0;
@@ -101,9 +112,14 @@ class Simulator {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Ids scheduled but not yet fired or cancelled. Membership here is what
+  // makes `cancel` safe against already-fired ids; its size always equals
+  // `live_events_`.
+  std::unordered_set<EventId> pending_;
   std::unordered_set<EventId> cancelled_;
   TimeNs now_ = 0;
   EventId next_id_ = 1;
+  std::uint64_t last_packet_id_ = 0;
   std::size_t live_events_ = 0;
   std::size_t max_heap_depth_ = 0;
   std::uint64_t executed_events_ = 0;

@@ -1,0 +1,304 @@
+#include "sweep/scenario_run.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "experiments/dumbbell.hpp"
+#include "experiments/leafspine.hpp"
+#include "experiments/presets.hpp"
+#include "sim/rng.hpp"
+#include "stats/csv.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/sampler.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace pmsb::sweep {
+
+namespace {
+
+using namespace pmsb::experiments;
+
+Scheme parse_scheme(const std::string& s) {
+  if (s == "pmsb") return Scheme::kPmsb;
+  if (s == "pmsbe" || s == "pmsb(e)") return Scheme::kPmsbE;
+  if (s == "mq-ecn" || s == "mqecn") return Scheme::kMqEcn;
+  if (s == "tcn") return Scheme::kTcn;
+  if (s == "perport") return Scheme::kPerPort;
+  if (s == "perqueue-std" || s == "perqueue") return Scheme::kPerQueueStd;
+  if (s == "perqueue-frac") return Scheme::kPerQueueFrac;
+  if (s == "none") return Scheme::kNone;
+  throw std::invalid_argument("unknown scheme: " + s);
+}
+
+/// Optional telemetry wiring shared by both topologies: a metrics registry +
+/// run manifest when `metrics_json=` is given, a time-series sampler when
+/// `timeseries_csv=` is given. Constructing it starts the wall clock.
+struct RunTelemetry {
+  explicit RunTelemetry(const Options& opts, bool quiet_run)
+      : metrics_path(opts.get("metrics_json")),
+        ts_path(opts.get("timeseries_csv")),
+        period(sim::microseconds_f(opts.get_double("sample_period_us", 100.0))),
+        quiet(quiet_run) {
+    manifest.set_config(opts.values());
+  }
+
+  /// Binds the scenario's instruments and starts the sampler. Call once the
+  /// scenario has its flows (per-flow instruments bind at call time).
+  template <typename Scenario>
+  void attach(Scenario& sc) {
+    if (!metrics_path.empty()) {
+      telemetry::bind_simulator_metrics(registry, sc.simulator());
+      sc.bind_metrics(registry);
+    }
+    if (!ts_path.empty()) {
+      sampler = std::make_unique<telemetry::TimeSeriesSampler>(sc.simulator(), period);
+      sc.add_sampler_columns(*sampler);
+      sampler->start();
+    }
+  }
+
+  void finish(double sim_time_us) {
+    if (sampler) {
+      sampler->write_csv(ts_path);
+      if (!quiet) {
+        std::printf("wrote %s (%zu samples x %zu columns)\n", ts_path.c_str(),
+                    sampler->rows(), sampler->num_columns());
+      }
+    }
+    if (!metrics_path.empty()) {
+      manifest.set_sim_time_us(sim_time_us);
+      manifest.write(metrics_path, &registry);
+      if (!quiet) {
+        std::printf("wrote %s (%zu instruments)\n", metrics_path.c_str(),
+                    registry.size());
+      }
+    }
+  }
+
+  std::string metrics_path;
+  std::string ts_path;
+  sim::TimeNs period;
+  bool quiet;
+  telemetry::MetricsRegistry registry;
+  telemetry::RunManifest manifest{"pmsbsim"};
+  std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+};
+
+void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
+  DumbbellConfig cfg;
+  const auto queues = static_cast<std::size_t>(opts.get_int("queues", 2));
+  cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
+  cfg.scheduler.num_queues = queues;
+  cfg.scheduler.weights = opts.get_double_list("weights");
+  if (cfg.scheduler.weights.empty()) cfg.scheduler.weights.assign(queues, 1.0);
+  cfg.link_rate = sim::gbps(static_cast<std::uint64_t>(opts.get_int("link_gbps", 10)));
+  cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 2.0));
+
+  auto flows_per_queue = opts.get_double_list("flows_per_queue");
+  if (flows_per_queue.empty()) flows_per_queue.assign(queues, 1.0);
+  if (flows_per_queue.size() != queues) {
+    throw std::invalid_argument("flows_per_queue must have one entry per queue");
+  }
+  std::size_t total_flows = 0;
+  for (double f : flows_per_queue) total_flows += static_cast<std::size_t>(f);
+  cfg.num_senders = total_flows;
+
+  const Scheme scheme = parse_scheme(opts.get("scheme", "pmsb"));
+  SchemeParams params;
+  params.capacity = cfg.link_rate;
+  params.rtt = sim::microseconds_f(opts.get_double("rtt_us", 18.0));
+  params.weights = cfg.scheduler.weights;
+  params.point = opts.get("mark_point", "enqueue") == "dequeue"
+                     ? ecn::MarkPoint::kDequeue
+                     : ecn::MarkPoint::kEnqueue;
+  cfg.marking = make_scheme_marking(scheme, params);
+
+  DumbbellScenario sc(cfg);
+  apply_scheme_transport(scheme, params, sc.base_rtt(), cfg.transport);
+
+  stats::Summary rtt;
+  std::size_t sender = 0;
+  for (std::size_t q = 0; q < queues; ++q) {
+    for (std::size_t f = 0; f < static_cast<std::size_t>(flows_per_queue[q]); ++f) {
+      const auto idx = sc.add_flow(
+          {.sender = sender++, .service = static_cast<net::ServiceId>(q),
+           .bytes = 0, .start = 0,
+           .pmsbe = cfg.transport.pmsbe_enabled,
+           .pmsbe_rtt_threshold = cfg.transport.pmsbe_rtt_threshold});
+      sc.flow(idx).sender().set_rtt_observer([&rtt, &sc](sim::TimeNs t) {
+        if (sc.simulator().now() > sim::milliseconds(5)) {
+          rtt.add(sim::to_microseconds(t));
+        }
+      });
+    }
+  }
+
+  RunTelemetry telemetry(opts, quiet);
+  telemetry.attach(sc);
+  telemetry.manifest.set_seed(static_cast<std::uint64_t>(opts.get_int("seed", 0)));
+  telemetry.manifest.set_info("topology", "dumbbell");
+  telemetry.manifest.set_info("scheme", scheme_name(scheme));
+  telemetry.manifest.set_info("scheduler", sc.bottleneck().scheduler().name());
+
+  const auto duration = sim::milliseconds(opts.get_int("duration_ms", 50));
+  sc.run(sim::milliseconds(10));
+  std::vector<std::uint64_t> start(queues);
+  for (std::size_t q = 0; q < queues; ++q) start[q] = sc.served_bytes(q);
+  sc.run(sim::milliseconds(10) + duration);
+
+  const auto marks = sc.bottleneck().stats().marked_enqueue +
+                     sc.bottleneck().stats().marked_dequeue;
+  const auto drops = sc.bottleneck().stats().dropped_packets;
+  if (!quiet) {
+    std::printf("dumbbell: %s + %s, %zu queues, %zu flows\n",
+                scheme_name(scheme).c_str(),
+                sc.bottleneck().scheduler().name().c_str(), queues, total_flows);
+  }
+  stats::Table table({"queue", "flows", "tput(Gbps)"});
+  for (std::size_t q = 0; q < queues; ++q) {
+    const double gbps = static_cast<double>(sc.served_bytes(q) - start[q]) * 8.0 /
+                        static_cast<double>(duration);
+    table.add_row({std::to_string(q), stats::Table::num(flows_per_queue[q], 0),
+                   stats::Table::num(gbps)});
+    rec.results["throughput_gbps.q" + std::to_string(q)] = gbps;
+    telemetry.manifest.set_result("throughput_gbps.q" + std::to_string(q), gbps);
+  }
+  if (!quiet) {
+    table.print();
+    std::printf("rtt avg/p99: %.1f / %.1f us; marks: %llu; drops: %llu\n", rtt.mean(),
+                rtt.percentile(99), static_cast<unsigned long long>(marks),
+                static_cast<unsigned long long>(drops));
+  }
+
+  rec.results["rtt_us.mean"] = rtt.mean();
+  rec.results["rtt_us.p99"] = rtt.percentile(99);
+  rec.results["marks"] = static_cast<double>(marks);
+  rec.results["drops"] = static_cast<double>(drops);
+  rec.info["topology"] = "dumbbell";
+  rec.info["scheme"] = scheme_name(scheme);
+  rec.info["scheduler"] = sc.bottleneck().scheduler().name();
+  rec.sim_time_us = sim::to_microseconds(sc.simulator().now());
+  telemetry.manifest.set_result("rtt_us.mean", rtt.mean());
+  telemetry.manifest.set_result("rtt_us.p99", rtt.percentile(99));
+  telemetry.finish(rec.sim_time_us);
+  rec.manifest_path = telemetry.metrics_path;
+}
+
+void run_leafspine(const Options& opts, bool quiet, RunRecord& rec) {
+  LeafSpineConfig cfg;
+  cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 9.0));
+  cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
+  const auto queues = static_cast<std::size_t>(opts.get_int("queues", 8));
+  cfg.scheduler.num_queues = queues;
+  cfg.scheduler.weights.assign(queues, 1.0);
+  cfg.buffer_bytes = 2048ull * 1500ull;
+
+  const Scheme scheme = parse_scheme(opts.get("scheme", "pmsb"));
+  SchemeParams params;
+  params.capacity = cfg.link_rate;
+  params.rtt = sim::microseconds_f(opts.get_double("rtt_us", 85.2));
+  params.weights = cfg.scheduler.weights;
+  cfg.marking = make_scheme_marking(scheme, params);
+  cfg.transport.init_cwnd_segments = 16;
+  const sim::TimeNs base_rtt =
+      4 * sim::serialization_delay(sim::kDefaultMtuBytes, cfg.link_rate) +
+      4 * sim::serialization_delay(net::kAckBytes, cfg.link_rate) +
+      8 * cfg.link_delay;
+  apply_scheme_transport(scheme, params, base_rtt, cfg.transport);
+
+  LeafSpineScenario sc(cfg);
+  workload::TrafficConfig tc;
+  tc.num_hosts = sc.num_hosts();
+  tc.load = opts.get_double("load", 0.5);
+  tc.num_flows = static_cast<std::size_t>(opts.get_int("flows", 300));
+  tc.num_services = static_cast<std::uint8_t>(queues);
+  const auto dist =
+      workload::FlowSizeDistribution::by_name(opts.get("workload", "paper-mix"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  sim::Rng rng(seed);
+  sc.add_workload(workload::generate_poisson_traffic(tc, dist, rng));
+
+  RunTelemetry telemetry(opts, quiet);
+  telemetry.attach(sc);
+  telemetry.manifest.set_seed(seed);
+  telemetry.manifest.set_info("topology", "leafspine");
+  telemetry.manifest.set_info("scheme", scheme_name(scheme));
+  telemetry.manifest.set_info("scheduler",
+                              sched::scheduler_kind_name(cfg.scheduler.kind));
+  telemetry.manifest.set_info("workload", opts.get("workload", "paper-mix"));
+
+  const bool done = sc.run_until_complete(sim::seconds(opts.get_int("max_sim_s", 60)));
+  if (!quiet) {
+    std::printf("leafspine: %s + %s, load %.2f, %zu/%zu flows done%s\n",
+                scheme_name(scheme).c_str(),
+                sched::scheduler_kind_name(cfg.scheduler.kind).c_str(), tc.load,
+                sc.completed_flows(), sc.total_flows(), done ? "" : " (TIME CAP HIT)");
+
+    stats::Table table({"bin", "count", "avg(us)", "p95(us)", "p99(us)"});
+    auto add = [&](const char* name, const stats::Summary& s) {
+      table.add_row({name, std::to_string(s.count()), stats::Table::num(s.mean(), 0),
+                     stats::Table::num(s.percentile(95), 0),
+                     stats::Table::num(s.percentile(99), 0)});
+    };
+    add("small", sc.fct().fct_us(stats::SizeBin::kSmall));
+    add("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
+    add("large", sc.fct().fct_us(stats::SizeBin::kLarge));
+    add("overall", sc.fct().overall_fct_us());
+    table.print();
+  }
+
+  if (opts.has("fct_csv")) {
+    stats::write_fct_csv(opts.get("fct_csv"), sc.fct());
+    if (!quiet) std::printf("wrote %s\n", opts.get("fct_csv").c_str());
+  }
+
+  telemetry.manifest.set_info("all_flows_completed", done ? "true" : "false");
+  rec.info["topology"] = "leafspine";
+  rec.info["scheme"] = scheme_name(scheme);
+  rec.info["scheduler"] = sched::scheduler_kind_name(cfg.scheduler.kind);
+  rec.info["workload"] = opts.get("workload", "paper-mix");
+  rec.info["all_flows_completed"] = done ? "true" : "false";
+  rec.results["flows_completed"] = static_cast<double>(sc.completed_flows());
+  rec.results["flows_total"] = static_cast<double>(sc.total_flows());
+  auto record_fct = [&](const std::string& bin, const stats::Summary& s) {
+    rec.results["fct_us." + bin + ".mean"] = s.mean();
+    rec.results["fct_us." + bin + ".p95"] = s.percentile(95);
+    rec.results["fct_us." + bin + ".p99"] = s.percentile(99);
+  };
+  record_fct("small", sc.fct().fct_us(stats::SizeBin::kSmall));
+  record_fct("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
+  record_fct("large", sc.fct().fct_us(stats::SizeBin::kLarge));
+  record_fct("overall", sc.fct().overall_fct_us());
+  for (const auto& [k, v] : rec.results) telemetry.manifest.set_result(k, v);
+  telemetry.manifest.set_result("flows_completed",
+                                static_cast<double>(sc.completed_flows()));
+  rec.sim_time_us = sim::to_microseconds(sc.simulator().now());
+  telemetry.finish(rec.sim_time_us);
+  rec.manifest_path = telemetry.metrics_path;
+}
+
+}  // namespace
+
+RunRecord run_scenario(const SweepPoint& point, bool quiet) {
+  RunRecord rec;
+  rec.index = point.index;
+  rec.label = point.label;
+  rec.config = point.opts.values();
+  const std::string topology = point.opts.get("topology", "dumbbell");
+  if (topology == "dumbbell") {
+    run_dumbbell(point.opts, quiet, rec);
+  } else if (topology == "leafspine") {
+    run_leafspine(point.opts, quiet, rec);
+  } else {
+    throw std::invalid_argument("unknown topology '" + topology + "'");
+  }
+  rec.ok = true;
+  return rec;
+}
+
+}  // namespace pmsb::sweep

@@ -1,0 +1,23 @@
+// Executes one scenario described by an Options set (the same key=value
+// vocabulary as tools/pmsbsim.cpp: topology=dumbbell|leafspine, scheme=,
+// scheduler=, load=, seed=, ...).
+//
+// Every call builds a fresh scenario — its own Simulator (and with it the
+// run's packet-id allocator), Rng, telemetry registry — so concurrent calls
+// on different threads are independent and a given Options set always
+// produces the same RunRecord. This is the unit of work the sweep runner
+// fans out, and also what pmsbsim runs for a single (non-sweep) invocation.
+#pragma once
+
+#include "sweep/sweep.hpp"
+
+namespace pmsb::sweep {
+
+/// Runs the scenario `point.opts` describes and returns its record. With
+/// quiet=false the run also prints the human-readable tables pmsbsim shows.
+/// Honors `metrics_json=` (pmsb.run_manifest/1) and, when quiet, ignores
+/// console-only keys. Throws std::invalid_argument on unknown topology /
+/// scheme / malformed options.
+[[nodiscard]] RunRecord run_scenario(const SweepPoint& point, bool quiet);
+
+}  // namespace pmsb::sweep

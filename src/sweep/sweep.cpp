@@ -1,0 +1,271 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "sweep/scenario_run.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace pmsb::sweep {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// Full-precision double formatting: round-trips exactly, so signatures are
+/// bit-faithful to the computed values.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> expand_grid(const experiments::Options& base,
+                                    const std::string& spec) {
+  struct Dimension {
+    std::string key;
+    std::vector<std::string> values;
+  };
+  std::vector<Dimension> dims;
+  std::set<std::string> seen;
+  for (const std::string& dim_spec : split(spec, ';')) {
+    if (dim_spec.empty()) continue;  // tolerate trailing ';'
+    const std::size_t colon = dim_spec.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::invalid_argument("sweep spec: dimension '" + dim_spec +
+                                  "' is not key:v1,v2,...");
+    }
+    Dimension d;
+    d.key = dim_spec.substr(0, colon);
+    if (!seen.insert(d.key).second) {
+      throw std::invalid_argument("sweep spec: duplicate key '" + d.key + "'");
+    }
+    for (const std::string& v : split(dim_spec.substr(colon + 1), ',')) {
+      if (v.empty()) {
+        throw std::invalid_argument("sweep spec: empty value for key '" + d.key + "'");
+      }
+      d.values.push_back(v);
+    }
+    dims.push_back(std::move(d));
+  }
+  if (dims.empty()) {
+    throw std::invalid_argument("sweep spec: no dimensions in '" + spec + "'");
+  }
+
+  std::size_t total = 1;
+  for (const auto& d : dims) total *= d.values.size();
+
+  std::vector<SweepPoint> points;
+  points.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    SweepPoint p;
+    p.index = i;
+    p.opts = base;
+    // Mixed-radix decode, last dimension fastest.
+    std::size_t rest = i;
+    for (std::size_t d = dims.size(); d-- > 0;) {
+      const auto& dim = dims[d];
+      const std::string& value = dim.values[rest % dim.values.size()];
+      rest /= dim.values.size();
+      p.opts.set(dim.key, value);
+    }
+    for (const auto& dim : dims) {
+      if (!p.label.empty()) p.label += ' ';
+      p.label += dim.key + '=' + p.opts.get(dim.key);
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(std::min(jobs, n));
+  for (std::size_t w = 0; w < std::min(jobs, n); ++w) workers.emplace_back(worker);
+  for (auto& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<RunRecord> run_sweep(const std::vector<SweepPoint>& points,
+                                 const SweepConfig& config) {
+  std::vector<RunRecord> records(points.size());
+  std::atomic<std::size_t> completed{0};
+  std::mutex print_mutex;
+  parallel_for(points.size(), config.jobs, [&](std::size_t i) {
+    SweepPoint point = points[i];
+    if (!config.manifest_dir.empty()) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "run_%03zu.json", point.index);
+      point.opts.set("metrics_json", config.manifest_dir + "/" + name);
+    }
+    // Per-point file outputs other than the manifest would collide across
+    // points (every point would write the same path); drop them.
+    point.opts.erase("timeseries_csv");
+    point.opts.erase("fct_csv");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    RunRecord rec;
+    try {
+      rec = run_scenario(point, /*quiet=*/true);
+    } catch (const std::exception& e) {
+      rec.index = point.index;
+      rec.label = point.label;
+      rec.ok = false;
+      rec.error = e.what();
+      rec.config = point.opts.values();
+    }
+    rec.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    records[i] = std::move(rec);
+    const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (config.progress) {
+      const std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf("[%zu/%zu] %s: %s (%.0f ms)\n", done, points.size(),
+                  points[i].label.c_str(), records[i].ok ? "ok" : "FAILED",
+                  records[i].wall_ms);
+      std::fflush(stdout);
+    }
+  });
+  return records;
+}
+
+std::string deterministic_signature(const RunRecord& rec) {
+  std::string s;
+  s += "label " + rec.label + "\n";
+  s += rec.ok ? "ok\n" : "error " + rec.error + "\n";
+  for (const auto& [k, v] : rec.config) s += "config " + k + "=" + v + "\n";
+  for (const auto& [k, v] : rec.info) s += "info " + k + "=" + v + "\n";
+  for (const auto& [k, v] : rec.results) {
+    s += "result " + k + "=" + format_double(v) + "\n";
+  }
+  s += "sim_time_us " + format_double(rec.sim_time_us) + "\n";
+  return s;
+}
+
+std::string sweep_report_json(const std::vector<RunRecord>& records,
+                              std::size_t jobs, double wall_s) {
+  std::size_t failed = 0;
+  for (const auto& r : records) {
+    if (!r.ok) ++failed;
+  }
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmsb.sweep_report/1");
+  w.key("git").value(telemetry::build_git_describe());
+  w.key("jobs").value(static_cast<std::uint64_t>(jobs));
+  w.key("points").value(static_cast<std::uint64_t>(records.size()));
+  w.key("failed").value(static_cast<std::uint64_t>(failed));
+  w.key("wall_s").value(wall_s);
+  w.key("runs").begin_array();
+  for (const auto& r : records) {
+    w.begin_object();
+    w.key("index").value(static_cast<std::uint64_t>(r.index));
+    w.key("label").value(r.label);
+    w.key("ok").value(r.ok);
+    if (!r.ok) w.key("error").value(r.error);
+    w.key("config").begin_object();
+    for (const auto& [k, v] : r.config) w.key(k).value(v);
+    w.end_object();
+    w.key("info").begin_object();
+    for (const auto& [k, v] : r.info) w.key(k).value(v);
+    w.end_object();
+    w.key("results").begin_object();
+    for (const auto& [k, v] : r.results) w.key(k).value(v);
+    w.end_object();
+    w.key("sim_time_us").value(r.sim_time_us);
+    w.key("wall_ms").value(r.wall_ms);
+    if (!r.manifest_path.empty()) w.key("manifest").value(r.manifest_path);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string sweep_report_csv(const std::vector<RunRecord>& records) {
+  std::set<std::string> result_keys;
+  for (const auto& r : records) {
+    for (const auto& [k, v] : r.results) {
+      (void)v;
+      result_keys.insert(k);
+    }
+  }
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out = "index,label,ok,error,sim_time_us,wall_ms";
+  for (const auto& k : result_keys) out += "," + escape(k);
+  out += "\n";
+  for (const auto& r : records) {
+    out += std::to_string(r.index) + "," + escape(r.label) + "," +
+           (r.ok ? "1" : "0") + "," + escape(r.error) + "," +
+           format_double(r.sim_time_us) + "," + format_double(r.wall_ms);
+    for (const auto& k : result_keys) {
+      out += ",";
+      const auto it = r.results.find(k);
+      if (it != r.results.end()) out += format_double(it->second);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << content;
+  if (!out) throw std::runtime_error("write to " + path + " failed");
+}
+
+}  // namespace pmsb::sweep

@@ -1,0 +1,106 @@
+// Parallel deterministic sweep runner.
+//
+// The paper's evaluation is a grid of scenario runs (thresholds x schedulers
+// x loads x workloads x seeds). Each simulator run stays single-threaded and
+// deterministic — a run is fully determined by its Options — so a sweep is
+// embarrassingly parallel: expand_grid() turns a base config plus a spec
+// string into N SweepPoints, and run_sweep() fans them across a worker pool.
+//
+// Determinism contract: a run owns every piece of mutable state it touches
+// (Simulator, packet-id allocator, Rng, telemetry registry), so the results
+// of point i are bit-identical whether the sweep runs with jobs=1 or
+// jobs=32, and whether the point runs first or last in the process.
+// deterministic_signature() serializes exactly the reproducible part of a
+// RunRecord (everything except wall-clock) so tests and CI can assert this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/options.hpp"
+
+namespace pmsb::sweep {
+
+/// One cell of the sweep grid: the base options with this point's overrides
+/// applied. `label` names only the varied keys ("load=0.3 scheduler=wfq").
+struct SweepPoint {
+  std::size_t index = 0;
+  std::string label;
+  experiments::Options opts;
+};
+
+/// Expands `spec` against `base` into the cartesian product of its
+/// dimensions. Spec grammar (CLI-friendly: no '=' or spaces needed):
+///
+///   spec      := dimension (';' dimension)*
+///   dimension := key ':' value (',' value)*
+///
+/// e.g. "load:0.3,0.5,0.7;scheduler:dwrr,wfq" -> 6 points. Dimensions vary
+/// in declaration order, last dimension fastest. Throws std::invalid_argument
+/// on malformed specs (empty key, empty value list, duplicate key).
+[[nodiscard]] std::vector<SweepPoint> expand_grid(const experiments::Options& base,
+                                                  const std::string& spec);
+
+/// Runs fn(0..n-1) across `jobs` worker threads (jobs <= 1 runs inline on
+/// the calling thread). Indices are handed out by an atomic counter; call
+/// order across threads is unspecified, so fn must only write state owned by
+/// its index. The first exception thrown by any fn is rethrown on the
+/// calling thread after all workers join.
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Outcome of one sweep point. Everything except `wall_ms` is a pure
+/// function of the point's options.
+struct RunRecord {
+  std::size_t index = 0;
+  std::string label;
+  bool ok = false;
+  std::string error;                           ///< non-empty when !ok
+  std::map<std::string, std::string> config;   ///< the point's full options
+  std::map<std::string, std::string> info;     ///< string facts (topology, ...)
+  std::map<std::string, double> results;       ///< scalar results
+  double sim_time_us = 0.0;
+  double wall_ms = 0.0;                        ///< nondeterministic; not in signatures
+  std::string manifest_path;                   ///< "" when no manifest was written
+};
+
+struct SweepConfig {
+  std::size_t jobs = 1;
+  /// When non-empty, each run writes a pmsb.run_manifest/1 JSON at
+  /// <manifest_dir>/run_<index>.json (the directory must exist).
+  std::string manifest_dir;
+  /// Print one progress line per completed run.
+  bool progress = false;
+};
+
+/// Runs every point (isolated scenario per point; see scenario_run.hpp) and
+/// returns records in point order. A point whose run throws yields a record
+/// with ok=false and the exception message — the sweep itself never throws
+/// on scenario errors.
+[[nodiscard]] std::vector<RunRecord> run_sweep(const std::vector<SweepPoint>& points,
+                                               const SweepConfig& config);
+
+/// Canonical serialization of the reproducible part of a record (label,
+/// config, info, results at full double precision, sim time). Two runs of
+/// the same point are bit-identical iff their signatures compare equal.
+[[nodiscard]] std::string deterministic_signature(const RunRecord& rec);
+
+/// Aggregated sweep report, schema `pmsb.sweep_report/1`:
+///   { "schema": "pmsb.sweep_report/1", "git": ..., "jobs": N,
+///     "points": N, "failed": N, "wall_s": W,
+///     "runs": [ {"index", "label", "ok", "error"?, "config", "info",
+///                "results", "sim_time_us", "wall_ms", "manifest"?}, ...] }
+[[nodiscard]] std::string sweep_report_json(const std::vector<RunRecord>& records,
+                                            std::size_t jobs, double wall_s);
+
+/// One row per run: index,label,ok,error,sim_time_us,wall_ms plus the sorted
+/// union of every result key (blank cell where a run lacks the key).
+[[nodiscard]] std::string sweep_report_csv(const std::vector<RunRecord>& records);
+
+/// Writes `content` to `path`; throws std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace pmsb::sweep

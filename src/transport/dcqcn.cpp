@@ -4,13 +4,6 @@
 
 namespace pmsb::transport {
 
-namespace {
-std::uint64_t next_dcqcn_packet_id() {
-  static std::uint64_t counter = 1'000'000'000ull;  // distinct from DCTCP ids
-  return ++counter;
-}
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // DcqcnSender
 // ---------------------------------------------------------------------------
@@ -51,7 +44,7 @@ void DcqcnSender::send_next() {
   const auto payload =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(cfg_.mtu_payload, remaining));
   net::Packet pkt;
-  pkt.id = next_dcqcn_packet_id();
+  pkt.id = sim_.allocate_packet_id();
   pkt.flow_id = flow_;
   pkt.src = local_.id();
   pkt.dst = remote_;
@@ -135,7 +128,7 @@ void DcqcnReceiver::on_data(const net::Packet& pkt) {
     if (last_cnp_ < 0 || sim_.now() - last_cnp_ >= cfg_.cnp_interval) {
       last_cnp_ = sim_.now();
       net::Packet cnp;
-      cnp.id = next_dcqcn_packet_id();
+      cnp.id = sim_.allocate_packet_id();
       cnp.flow_id = flow_;
       cnp.src = local_.id();
       cnp.dst = remote_;

@@ -8,13 +8,6 @@
 
 namespace pmsb::transport {
 
-namespace {
-std::uint64_t next_packet_id() {
-  static std::uint64_t counter = 0;
-  return ++counter;
-}
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // DctcpSender
 // ---------------------------------------------------------------------------
@@ -77,7 +70,7 @@ void DctcpSender::send_segment(std::uint64_t seq, bool is_retransmit) {
       static_cast<std::uint32_t>(std::min<std::uint64_t>(cfg_.mss, remaining_at(seq)));
   assert(payload > 0);
   Packet pkt;
-  pkt.id = next_packet_id();
+  pkt.id = sim_.allocate_packet_id();
   pkt.flow_id = flow_;
   pkt.src = local_.id();
   pkt.dst = remote_;
@@ -273,7 +266,7 @@ DctcpReceiver::DctcpReceiver(sim::Simulator& simulator, Host& local, HostId remo
 
 void DctcpReceiver::send_ack(bool ece, TimeNs echo_time) {
   Packet ack;
-  ack.id = next_packet_id();
+  ack.id = sim_.allocate_packet_id();
   ack.flow_id = flow_;
   ack.src = local_.id();
   ack.dst = remote_;

@@ -22,7 +22,10 @@ FlowSizeDistribution::FlowSizeDistribution(std::string name, std::vector<CdfPoin
 }
 
 std::uint64_t FlowSizeDistribution::sample(sim::Rng& rng) const {
-  const double u = rng.uniform();
+  return quantile(rng.uniform());
+}
+
+std::uint64_t FlowSizeDistribution::quantile(double u) const {
   if (u <= points_.front().prob) return points_.front().bytes;
   for (std::size_t i = 1; i < points_.size(); ++i) {
     if (u <= points_[i].prob) {

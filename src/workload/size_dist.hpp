@@ -28,8 +28,14 @@ class FlowSizeDistribution {
   /// Points must be strictly increasing in both fields and end at prob 1.0.
   FlowSizeDistribution(std::string name, std::vector<CdfPoint> points);
 
-  /// Inverse-CDF sample.
+  /// Inverse-CDF sample: quantile(u) with u drawn uniform in [0, 1).
   [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const;
+
+  /// Deterministic inverse CDF: the smallest size s with cdf(s) >= u, linear
+  /// between knots. u <= first knot's prob returns the first knot's bytes;
+  /// u >= 1 returns the last knot's bytes; u exactly at a knot returns that
+  /// knot's bytes.
+  [[nodiscard]] std::uint64_t quantile(double u) const;
 
   /// Expected flow size (exact for the piecewise-linear CDF).
   [[nodiscard]] double mean_bytes() const;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
 #include "sched/dwrr.hpp"
 #include "sched/wrr.hpp"
@@ -116,6 +117,39 @@ TEST(Dwrr, FractionalWeightsAccumulate) {
   for (int i = 0; i < 100; ++i) ++counts[s.dequeue(0)->queue];
   EXPECT_GT(counts[0], 20);
   EXPECT_GT(counts[1], 60);
+}
+
+// Regression: with fractional weights one selection spins several cursor
+// wraps to accumulate a packet's worth of deficit. Each wrap used to fire
+// the round observer — flooding MQ-ECN's T_round EWMA with zero-length
+// samples at the same timestamp — where the paper's Eq. 3 sees exactly one
+// scheduling opportunity. A selection must report at most one round.
+TEST(Dwrr, FractionalWeightsReportOneRoundPerDequeue) {
+  DwrrScheduler s(2, {0.1, 0.1});  // quantum 150 B, far below 1500 B packets
+  int rounds = 0;
+  s.set_round_observer([&](sim::TimeNs) { ++rounds; });
+  for (int i = 0; i < 5; ++i) s.enqueue(0, pkt());
+  for (int i = 0; i < 5; ++i) {
+    const int before = rounds;
+    (void)s.dequeue(1000 * (i + 1));
+    // ~10 cursor wraps happen inside this dequeue; exactly one is a round.
+    EXPECT_EQ(rounds - before, 1);
+  }
+  EXPECT_EQ(rounds, 5);
+}
+
+// Consequence of the above: observed round-completion times are strictly
+// increasing (duplicate timestamps were the zero-length samples).
+TEST(Dwrr, RoundTimestampsStrictlyIncrease) {
+  DwrrScheduler s(2, {0.5, 0.5});  // quantum 750 B: two visits per packet
+  std::vector<sim::TimeNs> times;
+  s.set_round_observer([&](sim::TimeNs t) { times.push_back(t); });
+  for (int i = 0; i < 12; ++i) s.enqueue(i % 2, pkt());
+  for (int i = 0; i < 12; ++i) (void)s.dequeue(100 * i);
+  ASSERT_FALSE(times.empty());
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
 }
 
 TEST(Dwrr, RejectsZeroQuantum) {

@@ -168,6 +168,81 @@ TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
 }
 
+// Regression: cancelling an id that already fired used to decrement the live
+// count (underflowing it against later events) and leak a tombstone in the
+// cancelled set. It must be a true no-op.
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  EXPECT_TRUE(sim.step());  // fires `id`
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.cancelled_events(), 0u);
+  bool fired = false;
+  sim.schedule_at(30, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, DoubleCancelLeavesCountersConsistent) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+// The retransmission-timer pattern: cancel a pending timer, schedule a new
+// one, repeatedly. Counts must stay exact and only the last timer fires.
+TEST(Simulator, CancelThenRescheduleKeepsCountsExact) {
+  Simulator sim;
+  int fired = 0;
+  EventId timer = sim.schedule_at(100, [&] { ++fired; });
+  for (int i = 1; i <= 50; ++i) {
+    sim.cancel(timer);
+    timer = sim.schedule_at(100 + i, [&] { ++fired; });
+    EXPECT_EQ(sim.pending_events(), 1u);
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.cancelled_events(), 50u);
+  EXPECT_EQ(sim.now(), 150);
+}
+
+// Cancel from inside a callback at the same timestamp: the victim is still
+// pending (tie-break says it runs later), so the cancel must take effect.
+TEST(Simulator, CancelFromCallbackAtSameTime) {
+  Simulator sim;
+  bool victim_fired = false;
+  EventId victim = kInvalidEventId;
+  sim.schedule_at(10, [&] { sim.cancel(victim); });
+  victim = sim.schedule_at(10, [&] { victim_fired = true; });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.cancelled_events(), 1u);
+}
+
+// Packet ids are allocated per-simulator, not process-globally: two fresh
+// simulators hand out the same sequence, which is what makes back-to-back
+// runs bit-identical.
+TEST(Simulator, PacketIdAllocatorIsPerInstance) {
+  Simulator a;
+  Simulator b;
+  EXPECT_EQ(a.allocate_packet_id(), 1u);
+  EXPECT_EQ(a.allocate_packet_id(), 2u);
+  EXPECT_EQ(a.allocate_packet_id(), 3u);
+  EXPECT_EQ(b.allocate_packet_id(), 1u);
+  EXPECT_EQ(a.packet_ids_allocated(), 3u);
+  EXPECT_EQ(b.packet_ids_allocated(), 1u);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   TimeNs last = -1;

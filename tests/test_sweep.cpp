@@ -1,0 +1,237 @@
+// Tests for the parallel sweep runner: grid expansion, the worker pool, and
+// the determinism contract (per-run results are bit-identical whether a
+// sweep runs serially or across threads, and whether a run is the first or
+// the second in its process).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiments/dumbbell.hpp"
+#include "experiments/options.hpp"
+#include "sweep/scenario_run.hpp"
+#include "sweep/sweep.hpp"
+#include "trace/tracer.hpp"
+
+using namespace pmsb;
+using pmsb::experiments::Options;
+
+namespace {
+
+Options leafspine_base() {
+  Options base;
+  base.set("topology", "leafspine");
+  base.set("flows", "40");
+  base.set("seed", "11");
+  return base;
+}
+
+}  // namespace
+
+// --- expand_grid -------------------------------------------------------
+
+TEST(ExpandGrid, CartesianProductLastDimensionFastest) {
+  Options base;
+  base.set("topology", "leafspine");
+  const auto pts = sweep::expand_grid(base, "load:0.3,0.6;scheme:pmsb,tcn,mq-ecn");
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0].label, "load=0.3 scheme=pmsb");
+  EXPECT_EQ(pts[1].label, "load=0.3 scheme=tcn");
+  EXPECT_EQ(pts[2].label, "load=0.3 scheme=mq-ecn");
+  EXPECT_EQ(pts[3].label, "load=0.6 scheme=pmsb");
+  EXPECT_EQ(pts[5].opts.get("scheme"), "mq-ecn");
+  EXPECT_EQ(pts[5].opts.get("load"), "0.6");
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].index, i);
+    // Base keys survive on every point.
+    EXPECT_EQ(pts[i].opts.get("topology"), "leafspine");
+  }
+}
+
+TEST(ExpandGrid, SingleDimension) {
+  const auto pts = sweep::expand_grid(Options{}, "seed:1,2,3,4");
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[2].opts.get("seed"), "3");
+  EXPECT_EQ(pts[2].label, "seed=3");
+}
+
+TEST(ExpandGrid, SweepValueOverridesBaseValue) {
+  Options base;
+  base.set("load", "0.9");
+  const auto pts = sweep::expand_grid(base, "load:0.1,0.2");
+  EXPECT_EQ(pts[0].opts.get("load"), "0.1");
+  EXPECT_EQ(pts[1].opts.get("load"), "0.2");
+}
+
+TEST(ExpandGrid, RejectsMalformedSpecs) {
+  const Options base;
+  EXPECT_THROW(sweep::expand_grid(base, ""), std::invalid_argument);
+  EXPECT_THROW(sweep::expand_grid(base, "load"), std::invalid_argument);
+  EXPECT_THROW(sweep::expand_grid(base, ":0.1,0.2"), std::invalid_argument);
+  EXPECT_THROW(sweep::expand_grid(base, "load:"), std::invalid_argument);
+  EXPECT_THROW(sweep::expand_grid(base, "load:0.1;load:0.2"),
+               std::invalid_argument);
+}
+
+// --- parallel_for ------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    std::vector<std::atomic<int>> hits(100);
+    sweep::parallel_for(100, jobs, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelFor, MoreJobsThanWorkIsFine) {
+  std::atomic<int> calls{0};
+  sweep::parallel_for(3, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelFor, ZeroItemsIsNoop) {
+  sweep::parallel_for(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(sweep::parallel_for(8, 4,
+                                   [](std::size_t i) {
+                                     if (i == 5) throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+}
+
+// --- determinism contract ---------------------------------------------
+
+TEST(Sweep, SerialAndParallelRunsAreBitIdentical) {
+  const auto pts =
+      sweep::expand_grid(leafspine_base(), "load:0.3,0.7;scheme:pmsb,tcn");
+  sweep::SweepConfig serial_cfg;
+  serial_cfg.jobs = 1;
+  sweep::SweepConfig pool_cfg;
+  pool_cfg.jobs = 4;
+  const auto serial = sweep::run_sweep(pts, serial_cfg);
+  const auto pooled = sweep::run_sweep(pts, pool_cfg);
+  ASSERT_EQ(serial.size(), pts.size());
+  ASSERT_EQ(pooled.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << serial[i].error;
+    EXPECT_EQ(sweep::deterministic_signature(serial[i]),
+              sweep::deterministic_signature(pooled[i]))
+        << pts[i].label;
+  }
+}
+
+// Regression for the process-global packet-id counters: the second of two
+// identical runs in one process used to continue the id sequence where the
+// first stopped, so its packet trace differed. With per-simulator
+// allocation the full event trace — ids included — must match.
+TEST(Sweep, BackToBackIdenticalRunsProduceIdenticalTraces) {
+  auto capture = [] {
+    experiments::DumbbellConfig cfg;
+    cfg.num_senders = 2;
+    cfg.scheduler.num_queues = 2;
+    cfg.scheduler.weights = {1.0, 1.0};
+    experiments::DumbbellScenario sc(cfg);
+    trace::Tracer tracer;
+    sc.bottleneck().set_tracer(&tracer);
+    for (std::size_t s = 0; s < 2; ++s) {
+      experiments::DumbbellFlowSpec spec;
+      spec.sender = s;
+      spec.service = static_cast<net::ServiceId>(s);
+      sc.add_flow(spec);
+    }
+    sc.run(sim::milliseconds(5));
+    return tracer.records();
+  };
+  const auto first = capture();
+  const auto second = capture();
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time, second[i].time) << "record " << i;
+    EXPECT_EQ(first[i].kind, second[i].kind) << "record " << i;
+    EXPECT_EQ(first[i].packet, second[i].packet) << "record " << i;
+    EXPECT_EQ(first[i].flow, second[i].flow) << "record " << i;
+    EXPECT_EQ(first[i].queue, second[i].queue) << "record " << i;
+  }
+}
+
+TEST(Sweep, BackToBackScenarioRunsHaveEqualSignatures) {
+  sweep::SweepPoint pt;
+  pt.opts = leafspine_base();
+  const auto a = sweep::run_scenario(pt, /*quiet=*/true);
+  const auto b = sweep::run_scenario(pt, /*quiet=*/true);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(sweep::deterministic_signature(a), sweep::deterministic_signature(b));
+}
+
+TEST(Sweep, SignatureSeparatesDifferentRuns) {
+  sweep::SweepPoint a;
+  a.opts = leafspine_base();
+  sweep::SweepPoint b;
+  b.opts = leafspine_base();
+  b.opts.set("seed", "12");
+  const auto ra = sweep::run_scenario(a, /*quiet=*/true);
+  const auto rb = sweep::run_scenario(b, /*quiet=*/true);
+  ASSERT_TRUE(ra.ok && rb.ok);
+  EXPECT_NE(sweep::deterministic_signature(ra),
+            sweep::deterministic_signature(rb));
+}
+
+// --- error handling and reports ---------------------------------------
+
+TEST(Sweep, ScenarioErrorIsRecordedNotThrown) {
+  Options bad;
+  bad.set("topology", "not-a-topology");
+  const auto pts = sweep::expand_grid(bad, "seed:1,2");
+  sweep::SweepConfig cfg;
+  const auto recs = sweep::run_sweep(pts, cfg);
+  ASSERT_EQ(recs.size(), 2u);
+  for (const auto& r : recs) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(Sweep, ReportsContainEveryRun) {
+  const auto pts = sweep::expand_grid(leafspine_base(), "load:0.3,0.7");
+  sweep::SweepConfig cfg;
+  cfg.jobs = 2;
+  const auto recs = sweep::run_sweep(pts, cfg);
+
+  const std::string json = sweep::sweep_report_json(recs, cfg.jobs, 1.0);
+  EXPECT_NE(json.find("\"schema\":\"pmsb.sweep_report/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\":2"), std::string::npos);
+  EXPECT_NE(json.find("load=0.3"), std::string::npos);
+  EXPECT_NE(json.find("load=0.7"), std::string::npos);
+
+  const std::string csv = sweep::sweep_report_csv(recs);
+  // Header + one row per run.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("index,label,ok"), std::string::npos);
+  EXPECT_NE(csv.find("fct_us.small.mean"), std::string::npos);
+}
+
+TEST(Sweep, ManifestsWrittenPerRun) {
+  const auto pts = sweep::expand_grid(leafspine_base(), "load:0.3,0.7");
+  sweep::SweepConfig cfg;
+  cfg.jobs = 2;
+  cfg.manifest_dir = ::testing::TempDir();
+  const auto recs = sweep::run_sweep(pts, cfg);
+  std::set<std::string> paths;
+  for (const auto& r : recs) {
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_FALSE(r.manifest_path.empty());
+    paths.insert(r.manifest_path);
+    std::FILE* f = std::fopen(r.manifest_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << r.manifest_path;
+    std::fclose(f);
+  }
+  EXPECT_EQ(paths.size(), recs.size());  // distinct file per run
+}

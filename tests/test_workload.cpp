@@ -78,6 +78,83 @@ TEST(SizeDist, ByNameThrowsOnUnknown) {
   EXPECT_THROW(FlowSizeDistribution::by_name("nope"), std::invalid_argument);
 }
 
+// --- boundary behavior at the CDF knots --------------------------------
+
+TEST(SizeDist, QuantileHitsEveryKnotExactly) {
+  for (const auto* name : {"paper-mix", "web-search", "data-mining"}) {
+    auto d = FlowSizeDistribution::by_name(name);
+    for (const auto& p : d.points()) {
+      EXPECT_EQ(d.quantile(p.prob), p.bytes) << name << " knot p=" << p.prob;
+    }
+  }
+}
+
+TEST(SizeDist, QuantileBelowFirstKnotClampsToMinSize) {
+  auto d = FlowSizeDistribution::paper_mix();
+  const auto min_bytes = d.points().front().bytes;
+  EXPECT_EQ(d.quantile(0.0), min_bytes);
+  // paper_mix's first knot carries zero mass, so any u at or below it (and
+  // the open interval down to 0) maps to the minimum flow size.
+  EXPECT_EQ(d.quantile(1e-12), min_bytes);
+  EXPECT_EQ(d.quantile(1.0), d.points().back().bytes);
+}
+
+TEST(SizeDist, QuantileInterpolatesLinearlyBetweenKnots) {
+  // paper_mix segment [0.60, 0.78] spans [100 kB, 1 MB]; the midpoint of
+  // the probability span maps to the midpoint of the byte span (within one
+  // byte of truncation).
+  auto d = FlowSizeDistribution::paper_mix();
+  EXPECT_NEAR(static_cast<double>(d.quantile(0.69)), 550'000.0, 1.0);
+}
+
+TEST(SizeDist, CdfAtAndBelowFirstPoint) {
+  using P = FlowSizeDistribution::CdfPoint;
+  // First knot with non-zero mass: an atom at the minimum size.
+  FlowSizeDistribution d("atom", {P{1'000, 0.25}, P{2'000, 1.0}});
+  EXPECT_DOUBLE_EQ(d.cdf(999), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1'000), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2'000), 1.0);
+  EXPECT_EQ(d.quantile(0.25), 1'000u);
+  EXPECT_EQ(d.quantile(0.10), 1'000u);  // inside the atom's mass
+}
+
+TEST(SizeDist, QuantileCdfRoundTripAtKnots) {
+  auto d = FlowSizeDistribution::web_search();
+  for (const auto& p : d.points()) {
+    EXPECT_NEAR(d.cdf(d.quantile(p.prob)), p.prob, 1e-9);
+  }
+}
+
+TEST(SizeDist, FixedRoundTripAndMean) {
+  auto d = FlowSizeDistribution::fixed(12345);
+  // fixed(b) is the two-point CDF {(b,0),(b+1,1)}: every u < 1 truncates to
+  // b, u == 1 lands on b+1, and the analytic mean is the segment midpoint.
+  EXPECT_EQ(d.quantile(0.0), 12345u);
+  EXPECT_EQ(d.quantile(0.5), 12345u);
+  EXPECT_EQ(d.quantile(0.999999), 12345u);
+  EXPECT_EQ(d.quantile(1.0), 12346u);
+  EXPECT_DOUBLE_EQ(d.mean_bytes(), 12345.5);
+}
+
+TEST(SizeDist, MeanBytesMatchesClosedForm) {
+  using P = FlowSizeDistribution::CdfPoint;
+  // Uniform on [100, 200]: mean 150.
+  FlowSizeDistribution u("uniform", {P{100, 0.0}, P{200, 1.0}});
+  EXPECT_DOUBLE_EQ(u.mean_bytes(), 150.0);
+  // Piecewise: 0.5 * mid(100,200) + 0.5 * mid(200,1000) = 75 + 300.
+  FlowSizeDistribution p("pw", {P{100, 0.0}, P{200, 0.5}, P{1'000, 1.0}});
+  EXPECT_DOUBLE_EQ(p.mean_bytes(), 375.0);
+  // paper_mix by hand from its knot table (segment masses at double
+  // precision, midpoint rule per segment).
+  auto d = FlowSizeDistribution::paper_mix();
+  const double expect = (0.35 - 0.0) * 0.5 * (2'000.0 + 30'000.0) +
+                        (0.60 - 0.35) * 0.5 * (30'000.0 + 100'000.0) +
+                        (0.78 - 0.60) * 0.5 * (100'000.0 + 1'000'000.0) +
+                        (0.90 - 0.78) * 0.5 * (1'000'000.0 + 10'000'000.0) +
+                        (1.0 - 0.90) * 0.5 * (10'000'000.0 + 30'000'000.0);
+  EXPECT_NEAR(d.mean_bytes(), expect, 1e-6);
+}
+
 TEST(TrafficGen, GeneratesRequestedCount) {
   TrafficConfig cfg;
   cfg.num_flows = 500;

@@ -1,11 +1,14 @@
 // pmsbsim — run PMSB experiments from the command line.
 //
 // Examples:
-//   pmsbsim topology=dumbbell scheduler=dwrr queues=2 weights=1,1 \
+//   pmsbsim topology=dumbbell scheduler=dwrr queues=2 weights=1,1
 //           scheme=pmsb flows_per_queue=1,8 duration_ms=50
-//   pmsbsim topology=leafspine scheme=tcn scheduler=wfq load=0.6 flows=400 \
+//   pmsbsim topology=leafspine scheme=tcn scheduler=wfq load=0.6 flows=400
 //           seed=3 fct_csv=/tmp/fct.csv
 //   pmsbsim --config experiment.conf scheme=pmsbe   # file + overrides
+//   pmsbsim topology=leafspine flows=300 jobs=8
+//           sweep="load:0.3,0.5,0.7,0.9;scheme:pmsb,tcn"
+//           sweep_json=/tmp/sweep.json sweep_csv=/tmp/sweep.csv
 //
 // Common keys:
 //   topology   dumbbell | leafspine                (default dumbbell)
@@ -22,264 +25,78 @@
 //   timeseries_csv    path: sample per-port occupancy / mark rate into a
 //                     columnar CSV while the run executes
 //   sample_period_us  sampling period for timeseries_csv (default 100)
+// Sweep keys (fan a grid of runs across a worker pool; each run is an
+// isolated single-threaded simulator, so per-run results are bit-identical
+// to a serial jobs=1 sweep):
+//   sweep              grid spec "key:v1,v2[;key2:w1,w2]" — cartesian
+//                      product over the remaining (base) options
+//   jobs               worker threads (default 1)
+//   sweep_json         path: aggregated pmsb.sweep_report/1 JSON
+//   sweep_csv          path: one CSV row per run (union of result keys)
+//   sweep_manifest_dir existing dir: per-run pmsb.run_manifest/1 files
+//                      (run_000.json, ...). timeseries_csv / fct_csv are
+//                      ignored inside sweeps (the paths would collide).
 // Dumbbell keys: flows_per_queue (e.g. "1,8"), duration_ms, link_gbps,
 //                link_delay_us
 // Leaf-spine keys: load, flows, seed, workload (paper-mix | web-search |
 //                data-mining), fct_csv (path to dump per-flow records)
+#include <chrono>
 #include <cstdio>
-#include <memory>
 #include <stdexcept>
+#include <string>
 
-#include "experiments/dumbbell.hpp"
-#include "experiments/leafspine.hpp"
 #include "experiments/options.hpp"
-#include "experiments/presets.hpp"
-#include "sim/rng.hpp"
-#include "stats/csv.hpp"
-#include "stats/summary.hpp"
-#include "stats/table.hpp"
-#include "telemetry/metrics.hpp"
-#include "telemetry/run_report.hpp"
-#include "telemetry/sampler.hpp"
-#include "workload/size_dist.hpp"
-#include "workload/traffic_gen.hpp"
+#include "sweep/scenario_run.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace pmsb;
-using namespace pmsb::experiments;
+using pmsb::experiments::Options;
 
 namespace {
 
-Scheme parse_scheme(const std::string& s) {
-  if (s == "pmsb") return Scheme::kPmsb;
-  if (s == "pmsbe" || s == "pmsb(e)") return Scheme::kPmsbE;
-  if (s == "mq-ecn" || s == "mqecn") return Scheme::kMqEcn;
-  if (s == "tcn") return Scheme::kTcn;
-  if (s == "perport") return Scheme::kPerPort;
-  if (s == "perqueue-std" || s == "perqueue") return Scheme::kPerQueueStd;
-  if (s == "perqueue-frac") return Scheme::kPerQueueFrac;
-  if (s == "none") return Scheme::kNone;
-  throw std::invalid_argument("unknown scheme: " + s);
-}
+int run_sweep_cli(const Options& opts) {
+  const std::string spec = opts.get("sweep");
+  sweep::SweepConfig cfg;
+  cfg.jobs = static_cast<std::size_t>(opts.get_int("jobs", 1));
+  cfg.manifest_dir = opts.get("sweep_manifest_dir");
+  cfg.progress = true;
 
-/// Optional telemetry wiring shared by both topologies: a metrics registry +
-/// run manifest when `metrics_json=` is given, a time-series sampler when
-/// `timeseries_csv=` is given. Constructing it starts the wall clock.
-struct RunTelemetry {
-  explicit RunTelemetry(const Options& opts)
-      : metrics_path(opts.get("metrics_json")),
-        ts_path(opts.get("timeseries_csv")),
-        period(sim::microseconds_f(opts.get_double("sample_period_us", 100.0))) {
-    manifest.set_config(opts.values());
+  // The base config every point starts from: everything except the keys
+  // that steer the sweep itself.
+  Options base = opts;
+  for (const char* key : {"sweep", "jobs", "sweep_json", "sweep_csv",
+                          "sweep_manifest_dir"}) {
+    base.erase(key);
   }
+  const auto points = sweep::expand_grid(base, spec);
+  std::printf("sweep: %zu points x jobs=%zu\n", points.size(), cfg.jobs);
 
-  /// Binds the scenario's instruments and starts the sampler. Call once the
-  /// scenario has its flows (per-flow instruments bind at call time).
-  template <typename Scenario>
-  void attach(Scenario& sc) {
-    if (!metrics_path.empty()) {
-      telemetry::bind_simulator_metrics(registry, sc.simulator());
-      sc.bind_metrics(registry);
-    }
-    if (!ts_path.empty()) {
-      sampler = std::make_unique<telemetry::TimeSeriesSampler>(sc.simulator(), period);
-      sc.add_sampler_columns(*sampler);
-      sampler->start();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto records = sweep::run_sweep(points, cfg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::size_t failed = 0;
+  for (const auto& r : records) {
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED [%zu] %s: %s\n", r.index, r.label.c_str(),
+                   r.error.c_str());
     }
   }
+  std::printf("sweep done: %zu/%zu ok in %.2f s\n", records.size() - failed,
+              records.size(), wall_s);
 
-  void finish(double sim_time_us) {
-    if (sampler) {
-      sampler->write_csv(ts_path);
-      std::printf("wrote %s (%zu samples x %zu columns)\n", ts_path.c_str(),
-                  sampler->rows(), sampler->num_columns());
-    }
-    if (!metrics_path.empty()) {
-      manifest.set_sim_time_us(sim_time_us);
-      manifest.write(metrics_path, &registry);
-      std::printf("wrote %s (%zu instruments)\n", metrics_path.c_str(),
-                  registry.size());
-    }
+  if (opts.has("sweep_json")) {
+    sweep::write_text_file(opts.get("sweep_json"),
+                           sweep::sweep_report_json(records, cfg.jobs, wall_s));
+    std::printf("wrote %s\n", opts.get("sweep_json").c_str());
   }
-
-  std::string metrics_path;
-  std::string ts_path;
-  sim::TimeNs period;
-  telemetry::MetricsRegistry registry;
-  telemetry::RunManifest manifest{"pmsbsim"};
-  std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
-};
-
-int run_dumbbell(const Options& opts) {
-  DumbbellConfig cfg;
-  const auto queues = static_cast<std::size_t>(opts.get_int("queues", 2));
-  cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
-  cfg.scheduler.num_queues = queues;
-  cfg.scheduler.weights = opts.get_double_list("weights");
-  if (cfg.scheduler.weights.empty()) cfg.scheduler.weights.assign(queues, 1.0);
-  cfg.link_rate = sim::gbps(static_cast<std::uint64_t>(opts.get_int("link_gbps", 10)));
-  cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 2.0));
-
-  auto flows_per_queue = opts.get_double_list("flows_per_queue");
-  if (flows_per_queue.empty()) flows_per_queue.assign(queues, 1.0);
-  if (flows_per_queue.size() != queues) {
-    throw std::invalid_argument("flows_per_queue must have one entry per queue");
+  if (opts.has("sweep_csv")) {
+    sweep::write_text_file(opts.get("sweep_csv"), sweep::sweep_report_csv(records));
+    std::printf("wrote %s\n", opts.get("sweep_csv").c_str());
   }
-  std::size_t total_flows = 0;
-  for (double f : flows_per_queue) total_flows += static_cast<std::size_t>(f);
-  cfg.num_senders = total_flows;
-
-  const Scheme scheme = parse_scheme(opts.get("scheme", "pmsb"));
-  SchemeParams params;
-  params.capacity = cfg.link_rate;
-  params.rtt = sim::microseconds_f(opts.get_double("rtt_us", 18.0));
-  params.weights = cfg.scheduler.weights;
-  params.point = opts.get("mark_point", "enqueue") == "dequeue"
-                     ? ecn::MarkPoint::kDequeue
-                     : ecn::MarkPoint::kEnqueue;
-  cfg.marking = make_scheme_marking(scheme, params);
-
-  DumbbellScenario sc(cfg);
-  apply_scheme_transport(scheme, params, sc.base_rtt(), cfg.transport);
-
-  stats::Summary rtt;
-  std::size_t sender = 0;
-  for (std::size_t q = 0; q < queues; ++q) {
-    for (std::size_t f = 0; f < static_cast<std::size_t>(flows_per_queue[q]); ++f) {
-      const auto idx = sc.add_flow(
-          {.sender = sender++, .service = static_cast<net::ServiceId>(q),
-           .bytes = 0, .start = 0,
-           .pmsbe = cfg.transport.pmsbe_enabled,
-           .pmsbe_rtt_threshold = cfg.transport.pmsbe_rtt_threshold});
-      sc.flow(idx).sender().set_rtt_observer([&rtt, &sc](sim::TimeNs t) {
-        if (sc.simulator().now() > sim::milliseconds(5)) {
-          rtt.add(sim::to_microseconds(t));
-        }
-      });
-    }
-  }
-
-  RunTelemetry telemetry(opts);
-  telemetry.attach(sc);
-  telemetry.manifest.set_seed(static_cast<std::uint64_t>(opts.get_int("seed", 0)));
-  telemetry.manifest.set_info("topology", "dumbbell");
-  telemetry.manifest.set_info("scheme", scheme_name(scheme));
-  telemetry.manifest.set_info("scheduler", sc.bottleneck().scheduler().name());
-
-  const auto duration = sim::milliseconds(opts.get_int("duration_ms", 50));
-  sc.run(sim::milliseconds(10));
-  std::vector<std::uint64_t> start(queues);
-  for (std::size_t q = 0; q < queues; ++q) start[q] = sc.served_bytes(q);
-  sc.run(sim::milliseconds(10) + duration);
-
-  std::printf("dumbbell: %s + %s, %zu queues, %zu flows\n",
-              scheme_name(scheme).c_str(), sc.bottleneck().scheduler().name().c_str(),
-              queues, total_flows);
-  stats::Table table({"queue", "flows", "tput(Gbps)"});
-  for (std::size_t q = 0; q < queues; ++q) {
-    const double gbps = static_cast<double>(sc.served_bytes(q) - start[q]) * 8.0 /
-                        static_cast<double>(duration);
-    table.add_row({std::to_string(q), stats::Table::num(flows_per_queue[q], 0),
-                   stats::Table::num(gbps)});
-  }
-  table.print();
-  std::printf("rtt avg/p99: %.1f / %.1f us; marks: %llu; drops: %llu\n", rtt.mean(),
-              rtt.percentile(99),
-              static_cast<unsigned long long>(sc.bottleneck().stats().marked_enqueue +
-                                              sc.bottleneck().stats().marked_dequeue),
-              static_cast<unsigned long long>(sc.bottleneck().stats().dropped_packets));
-
-  for (std::size_t q = 0; q < queues; ++q) {
-    const double gbps = static_cast<double>(sc.served_bytes(q) - start[q]) * 8.0 /
-                        static_cast<double>(duration);
-    telemetry.manifest.set_result("throughput_gbps.q" + std::to_string(q), gbps);
-  }
-  telemetry.manifest.set_result("rtt_us.mean", rtt.mean());
-  telemetry.manifest.set_result("rtt_us.p99", rtt.percentile(99));
-  telemetry.finish(sim::to_microseconds(sc.simulator().now()));
-  return 0;
-}
-
-int run_leafspine(const Options& opts) {
-  LeafSpineConfig cfg;
-  cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 9.0));
-  cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
-  const auto queues = static_cast<std::size_t>(opts.get_int("queues", 8));
-  cfg.scheduler.num_queues = queues;
-  cfg.scheduler.weights.assign(queues, 1.0);
-  cfg.buffer_bytes = 2048ull * 1500ull;
-
-  const Scheme scheme = parse_scheme(opts.get("scheme", "pmsb"));
-  SchemeParams params;
-  params.capacity = cfg.link_rate;
-  params.rtt = sim::microseconds_f(opts.get_double("rtt_us", 85.2));
-  params.weights = cfg.scheduler.weights;
-  cfg.marking = make_scheme_marking(scheme, params);
-  cfg.transport.init_cwnd_segments = 16;
-  const sim::TimeNs base_rtt =
-      4 * sim::serialization_delay(sim::kDefaultMtuBytes, cfg.link_rate) +
-      4 * sim::serialization_delay(net::kAckBytes, cfg.link_rate) +
-      8 * cfg.link_delay;
-  apply_scheme_transport(scheme, params, base_rtt, cfg.transport);
-
-  LeafSpineScenario sc(cfg);
-  workload::TrafficConfig tc;
-  tc.num_hosts = sc.num_hosts();
-  tc.load = opts.get_double("load", 0.5);
-  tc.num_flows = static_cast<std::size_t>(opts.get_int("flows", 300));
-  tc.num_services = static_cast<std::uint8_t>(queues);
-  const auto dist =
-      workload::FlowSizeDistribution::by_name(opts.get("workload", "paper-mix"));
-  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
-  sim::Rng rng(seed);
-  sc.add_workload(workload::generate_poisson_traffic(tc, dist, rng));
-
-  RunTelemetry telemetry(opts);
-  telemetry.attach(sc);
-  telemetry.manifest.set_seed(seed);
-  telemetry.manifest.set_info("topology", "leafspine");
-  telemetry.manifest.set_info("scheme", scheme_name(scheme));
-  telemetry.manifest.set_info("scheduler",
-                              sched::scheduler_kind_name(cfg.scheduler.kind));
-  telemetry.manifest.set_info("workload", opts.get("workload", "paper-mix"));
-
-  const bool done = sc.run_until_complete(sim::seconds(opts.get_int("max_sim_s", 60)));
-  std::printf("leafspine: %s + %s, load %.2f, %zu/%zu flows done%s\n",
-              scheme_name(scheme).c_str(),
-              sched::scheduler_kind_name(cfg.scheduler.kind).c_str(), tc.load,
-              sc.completed_flows(), sc.total_flows(), done ? "" : " (TIME CAP HIT)");
-
-  stats::Table table({"bin", "count", "avg(us)", "p95(us)", "p99(us)"});
-  auto add = [&](const char* name, const stats::Summary& s) {
-    table.add_row({name, std::to_string(s.count()), stats::Table::num(s.mean(), 0),
-                   stats::Table::num(s.percentile(95), 0),
-                   stats::Table::num(s.percentile(99), 0)});
-  };
-  add("small", sc.fct().fct_us(stats::SizeBin::kSmall));
-  add("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
-  add("large", sc.fct().fct_us(stats::SizeBin::kLarge));
-  add("overall", sc.fct().overall_fct_us());
-  table.print();
-
-  if (opts.has("fct_csv")) {
-    stats::write_fct_csv(opts.get("fct_csv"), sc.fct());
-    std::printf("wrote %s\n", opts.get("fct_csv").c_str());
-  }
-
-  telemetry.manifest.set_info("all_flows_completed", done ? "true" : "false");
-  telemetry.manifest.set_result("flows_completed",
-                                static_cast<double>(sc.completed_flows()));
-  telemetry.manifest.set_result("flows_total", static_cast<double>(sc.total_flows()));
-  auto record_fct = [&telemetry](const std::string& bin, const stats::Summary& s) {
-    telemetry.manifest.set_result("fct_us." + bin + ".mean", s.mean());
-    telemetry.manifest.set_result("fct_us." + bin + ".p95", s.percentile(95));
-    telemetry.manifest.set_result("fct_us." + bin + ".p99", s.percentile(99));
-  };
-  record_fct("small", sc.fct().fct_us(stats::SizeBin::kSmall));
-  record_fct("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
-  record_fct("large", sc.fct().fct_us(stats::SizeBin::kLarge));
-  record_fct("overall", sc.fct().overall_fct_us());
-  telemetry.finish(sim::to_microseconds(sc.simulator().now()));
-  return 0;
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -287,11 +104,11 @@ int run_leafspine(const Options& opts) {
 int main(int argc, char** argv) {
   try {
     const Options opts = Options::from_args(argc, argv);
-    const std::string topology = opts.get("topology", "dumbbell");
-    if (topology == "dumbbell") return run_dumbbell(opts);
-    if (topology == "leafspine") return run_leafspine(opts);
-    std::fprintf(stderr, "unknown topology '%s'\n", topology.c_str());
-    return 2;
+    if (opts.has("sweep")) return run_sweep_cli(opts);
+    sweep::SweepPoint point;
+    point.opts = opts;
+    (void)sweep::run_scenario(point, /*quiet=*/false);
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pmsbsim: %s\n", e.what());
     return 2;
