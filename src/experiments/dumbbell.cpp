@@ -33,13 +33,19 @@ DumbbellScenario::DumbbellScenario(const DumbbellConfig& config) : cfg_(config) 
 
   const sim::RateBps uplink_rate =
       cfg_.sender_uplink_rate != 0 ? cfg_.sender_uplink_rate : cfg_.link_rate;
+  auto name_link = [this](const std::string& src, const std::string& dst) {
+    link_refs_.push_back({src, dst, links_.back().get()});
+  };
+
   // Wire sender <-> switch links and sender-facing switch ports.
   for (std::size_t i = 0; i < cfg_.num_senders; ++i) {
     links_.push_back(std::make_unique<net::Link>(sim_, uplink_rate, cfg_.link_delay,
                                                  switch_.get()));
     senders_[i]->attach_uplink(links_.back().get());
+    name_link(senders_[i]->name(), switch_->name());
     links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                  senders_[i].get()));
+    name_link(switch_->name(), senders_[i]->name());
     const std::size_t port = switch_->add_port(links_.back().get(), plain);
     switch_->routing().add_route(static_cast<net::HostId>(i), port);
   }
@@ -48,8 +54,10 @@ DumbbellScenario::DumbbellScenario(const DumbbellConfig& config) : cfg_(config) 
   links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                switch_.get()));
   receiver_->attach_uplink(links_.back().get());
+  name_link(receiver_->name(), switch_->name());
   links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                receiver_.get()));
+  name_link(switch_->name(), receiver_->name());
   bottleneck_port_ = switch_->add_port(links_.back().get(), bottleneck);
   switch_->routing().add_route(static_cast<net::HostId>(cfg_.num_senders),
                                bottleneck_port_);
@@ -93,6 +101,40 @@ void DumbbellScenario::add_sampler_columns(telemetry::TimeSeriesSampler& sampler
   sampler.add_rate("bottleneck.mark_rate_pps", [&port]() -> std::uint64_t {
     return port.stats().marked_enqueue + port.stats().marked_dequeue;
   });
+}
+
+void DumbbellScenario::install_faults(faults::FaultPlan& plan, std::uint64_t seed) {
+  plan.install(sim_, link_refs_, seed);
+  plan_ = &plan;
+}
+
+void DumbbellScenario::install_invariants(faults::InvariantChecker& checker) {
+  faults::add_switch_checks(checker, *switch_);
+  for (const auto& s : senders_) ledger_.add_host(s.get());
+  ledger_.add_host(receiver_.get());
+  ledger_.add_switch(switch_.get());
+  for (const auto& link : links_) ledger_.add_link(link.get());
+  ledger_.set_fault_plan(plan_);
+  ledger_.register_check(checker);
+  faults::add_flow_liveness_check(checker, [this] {
+    std::vector<const transport::DctcpSender*> senders;
+    senders.reserve(flows_.size());
+    for (const auto& f : flows_) senders.push_back(&f->sender());
+    return senders;
+  });
+}
+
+std::uint64_t DumbbellScenario::total_bytes_acked() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f->sender().bytes_acked();
+  return total;
+}
+
+bool DumbbellScenario::all_complete() const {
+  for (const auto& f : flows_) {
+    if (!f->sender().complete()) return false;
+  }
+  return true;
 }
 
 sim::TimeNs DumbbellScenario::base_rtt() const {

@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "ecn/factory.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/invariants.hpp"
+#include "faults/standard_checks.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "sched/factory.hpp"
@@ -87,6 +90,26 @@ class DumbbellScenario {
     return switch_->port(bottleneck_port_).scheduler().served_bytes(q);
   }
 
+  // --- Robustness plane ---
+  /// Directed links named by endpoints ("sender0" -> "switch", "switch" ->
+  /// "receiver", ...), for fault-plane matching.
+  [[nodiscard]] const std::vector<faults::LinkRef>& link_refs() const {
+    return link_refs_;
+  }
+  void install_faults(faults::FaultPlan& plan, std::uint64_t seed);
+  /// Registers the standard fabric invariants on `checker`. Call at most
+  /// once, after install_faults if a plan is in play and after add_flow so
+  /// the liveness check sees every flow.
+  void install_invariants(faults::InvariantChecker& checker);
+  /// Test hook for the deliberate-violation fixture.
+  [[nodiscard]] faults::ConservationLedger& ledger() { return ledger_; }
+  /// Total bytes cumulatively acked — the watchdog's progress measure.
+  [[nodiscard]] std::uint64_t total_bytes_acked() const;
+  /// True when every flow has completed. A long-lived flow never completes,
+  /// so with one present this stays false — flat progress then counts as a
+  /// stall, which is what the watchdog wants for a duration-based run.
+  [[nodiscard]] bool all_complete() const;
+
   /// The un-loaded round-trip time sender -> receiver -> sender.
   [[nodiscard]] sim::TimeNs base_rtt() const;
 
@@ -99,6 +122,9 @@ class DumbbellScenario {
   std::unique_ptr<net::Host> receiver_;
   std::unique_ptr<switchlib::Switch> switch_;
   std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<faults::LinkRef> link_refs_;
+  faults::ConservationLedger ledger_;
+  faults::FaultPlan* plan_ = nullptr;
   std::vector<std::unique_ptr<transport::Flow>> flows_;
   std::size_t bottleneck_port_ = 0;
   net::FlowId next_flow_id_ = 1;

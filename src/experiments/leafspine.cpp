@@ -29,14 +29,20 @@ LeafSpineScenario::LeafSpineScenario(const LeafSpineConfig& config) : cfg_(confi
   port_cfg.marking = cfg_.marking;
   port_cfg.buffer_bytes = cfg_.buffer_bytes;
 
+  auto name_link = [this](const std::string& src, const std::string& dst) {
+    link_refs_.push_back({src, dst, links_.back().get()});
+  };
+
   // Host <-> leaf wiring.
   for (std::size_t h = 0; h < n_hosts; ++h) {
     const std::size_t l = leaf_of(h);
     links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                  leaves_[l].get()));
     hosts_[h]->attach_uplink(links_.back().get());
+    name_link(hosts_[h]->name(), leaves_[l]->name());
     links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                  hosts_[h].get()));
+    name_link(leaves_[l]->name(), hosts_[h]->name());
     const std::size_t port = leaves_[l]->add_port(links_.back().get(), port_cfg);
     leaves_[l]->routing().add_route(static_cast<net::HostId>(h), port);
   }
@@ -48,10 +54,12 @@ LeafSpineScenario::LeafSpineScenario(const LeafSpineConfig& config) : cfg_(confi
       // Uplink leaf -> spine.
       links_.push_back(std::make_unique<net::Link>(sim_, core_rate, cfg_.link_delay,
                                                    spines_[s].get()));
+      name_link(leaves_[l]->name(), spines_[s]->name());
       const std::size_t up = leaves_[l]->add_port(links_.back().get(), port_cfg);
       // Downlink spine -> leaf.
       links_.push_back(std::make_unique<net::Link>(sim_, core_rate, cfg_.link_delay,
                                                    leaves_[l].get()));
+      name_link(spines_[s]->name(), leaves_[l]->name());
       const std::size_t down = spines_[s]->add_port(links_.back().get(), port_cfg);
 
       for (std::size_t h = 0; h < n_hosts; ++h) {
@@ -169,6 +177,34 @@ std::uint64_t LeafSpineScenario::total_drops() const {
   for (const auto& l : leaves_) add(*l);
   for (const auto& s : spines_) add(*s);
   return drops;
+}
+
+void LeafSpineScenario::install_faults(faults::FaultPlan& plan, std::uint64_t seed) {
+  plan.install(sim_, link_refs_, seed);
+  plan_ = &plan;
+}
+
+void LeafSpineScenario::install_invariants(faults::InvariantChecker& checker) {
+  for (auto& l : leaves_) faults::add_switch_checks(checker, *l);
+  for (auto& s : spines_) faults::add_switch_checks(checker, *s);
+  for (const auto& h : hosts_) ledger_.add_host(h.get());
+  for (const auto& l : leaves_) ledger_.add_switch(l.get());
+  for (const auto& s : spines_) ledger_.add_switch(s.get());
+  for (const auto& link : links_) ledger_.add_link(link.get());
+  ledger_.set_fault_plan(plan_);
+  ledger_.register_check(checker);
+  faults::add_flow_liveness_check(checker, [this] {
+    std::vector<const transport::DctcpSender*> senders;
+    senders.reserve(flows_.size());
+    for (const auto& f : flows_) senders.push_back(&f->sender());
+    return senders;
+  });
+}
+
+std::uint64_t LeafSpineScenario::total_bytes_acked() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f->sender().bytes_acked();
+  return total;
 }
 
 sim::TimeNs LeafSpineScenario::base_rtt_interrack() const {

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "ecn/factory.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/invariants.hpp"
+#include "faults/standard_checks.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "sched/factory.hpp"
@@ -76,6 +79,26 @@ class LeafSpineScenario {
   /// port to `sampler`. Call before sampler.start().
   void add_sampler_columns(telemetry::TimeSeriesSampler& sampler);
 
+  // --- Robustness plane ---
+  /// Every directed link of the fabric, named by endpoints ("h3" -> "leaf0",
+  /// "leaf1" -> "spine2", ...), for fault-plane matching.
+  [[nodiscard]] const std::vector<faults::LinkRef>& link_refs() const {
+    return link_refs_;
+  }
+  /// Interposes the plan's injectors into this fabric and remembers the plan
+  /// so the conservation ledger accounts for its drops and delay stage.
+  void install_faults(faults::FaultPlan& plan, std::uint64_t seed);
+  /// Registers the standard fabric invariants (port accounting, packet
+  /// conservation, flow liveness) on `checker`. Call at most once, after
+  /// install_faults if a plan is in play.
+  void install_invariants(faults::InvariantChecker& checker);
+  /// Test hook for the deliberate-violation fixture.
+  [[nodiscard]] faults::ConservationLedger& ledger() { return ledger_; }
+  /// Total bytes cumulatively acked across all flows — the watchdog's
+  /// progress measure.
+  [[nodiscard]] std::uint64_t total_bytes_acked() const;
+  [[nodiscard]] bool all_complete() const { return completed_ == flows_.size(); }
+
   /// Aggregate CE marks applied across every switch port (both points).
   [[nodiscard]] std::uint64_t total_marks() const;
   /// Aggregate drop count across every switch port.
@@ -95,6 +118,9 @@ class LeafSpineScenario {
   std::vector<std::unique_ptr<switchlib::Switch>> leaves_;
   std::vector<std::unique_ptr<switchlib::Switch>> spines_;
   std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<faults::LinkRef> link_refs_;
+  faults::ConservationLedger ledger_;
+  faults::FaultPlan* plan_ = nullptr;
   std::vector<std::unique_ptr<transport::Flow>> flows_;
   stats::FctCollector fct_;
   std::size_t completed_ = 0;

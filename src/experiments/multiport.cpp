@@ -36,12 +36,18 @@ MultiPortScenario::MultiPortScenario(const MultiPortConfig& config) : cfg_(confi
   bottleneck.buffer_bytes = cfg_.buffer_bytes;
   bottleneck.dt_alpha = cfg_.dt_alpha;
 
+  auto name_link = [this](const std::string& src, const std::string& dst) {
+    link_refs_.push_back({src, dst, links_.back().get()});
+  };
+
   for (std::size_t i = 0; i < cfg_.num_senders; ++i) {
     links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                  switch_.get()));
     senders_[i]->attach_uplink(links_.back().get());
+    name_link(senders_[i]->name(), switch_->name());
     links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                  senders_[i].get()));
+    name_link(switch_->name(), senders_[i]->name());
     const std::size_t port = switch_->add_port(links_.back().get(), plain);
     switch_->routing().add_route(static_cast<net::HostId>(i), port);
   }
@@ -49,8 +55,10 @@ MultiPortScenario::MultiPortScenario(const MultiPortConfig& config) : cfg_(confi
     links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                  switch_.get()));
     receivers_[r]->attach_uplink(links_.back().get());
+    name_link(receivers_[r]->name(), switch_->name());
     links_.push_back(std::make_unique<net::Link>(sim_, cfg_.link_rate, cfg_.link_delay,
                                                  receivers_[r].get()));
+    name_link(switch_->name(), receivers_[r]->name());
     const std::size_t port = switch_->add_port(links_.back().get(), bottleneck);
     if (pool_) switch_->port(port).attach_pool(pool_.get());
     receiver_ports_.push_back(port);
@@ -59,6 +67,33 @@ MultiPortScenario::MultiPortScenario(const MultiPortConfig& config) : cfg_(confi
 }
 
 MultiPortScenario::~MultiPortScenario() = default;
+
+void MultiPortScenario::install_faults(faults::FaultPlan& plan, std::uint64_t seed) {
+  plan.install(sim_, link_refs_, seed);
+  plan_ = &plan;
+}
+
+void MultiPortScenario::install_invariants(faults::InvariantChecker& checker) {
+  faults::add_switch_checks(checker, *switch_);
+  for (const auto& s : senders_) ledger_.add_host(s.get());
+  for (const auto& r : receivers_) ledger_.add_host(r.get());
+  ledger_.add_switch(switch_.get());
+  for (const auto& link : links_) ledger_.add_link(link.get());
+  ledger_.set_fault_plan(plan_);
+  ledger_.register_check(checker);
+  faults::add_flow_liveness_check(checker, [this] {
+    std::vector<const transport::DctcpSender*> senders;
+    senders.reserve(flows_.size());
+    for (const auto& f : flows_) senders.push_back(&f->sender());
+    return senders;
+  });
+}
+
+std::uint64_t MultiPortScenario::total_bytes_acked() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f->sender().bytes_acked();
+  return total;
+}
 
 std::size_t MultiPortScenario::add_flow(const MultiPortFlowSpec& spec) {
   if (spec.sender >= cfg_.num_senders) throw std::out_of_range("multiport: bad sender");

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "ecn/factory.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/invariants.hpp"
+#include "faults/standard_checks.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "sched/factory.hpp"
@@ -69,6 +72,17 @@ class MultiPortScenario {
     return switch_->port(receiver_ports_.at(r)).scheduler().served_bytes(q);
   }
 
+  // --- Robustness plane ---
+  /// Directed links named by endpoints ("sender0" -> "switch", ...).
+  [[nodiscard]] const std::vector<faults::LinkRef>& link_refs() const {
+    return link_refs_;
+  }
+  void install_faults(faults::FaultPlan& plan, std::uint64_t seed);
+  /// Registers the standard fabric invariants; call after add_flow().
+  void install_invariants(faults::InvariantChecker& checker);
+  [[nodiscard]] faults::ConservationLedger& ledger() { return ledger_; }
+  [[nodiscard]] std::uint64_t total_bytes_acked() const;
+
  private:
   MultiPortConfig cfg_;
   sim::Simulator sim_;
@@ -77,6 +91,9 @@ class MultiPortScenario {
   std::unique_ptr<switchlib::Switch> switch_;
   std::unique_ptr<switchlib::BufferPool> pool_;
   std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<faults::LinkRef> link_refs_;
+  faults::ConservationLedger ledger_;
+  faults::FaultPlan* plan_ = nullptr;
   std::vector<std::unique_ptr<transport::Flow>> flows_;
   std::vector<std::size_t> receiver_ports_;
   net::FlowId next_flow_id_ = 1;

@@ -1,0 +1,79 @@
+#include "faults/invariants.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace pmsb::faults {
+
+std::string Violation::to_string() const {
+  std::ostringstream out;
+  out << "[invariant " << check << "] entity=" << entity << " t=" << time
+      << "ns: " << detail;
+  return out.str();
+}
+
+void InvariantChecker::Context::violate(const std::string& entity,
+                                        const std::string& detail) {
+  Violation v;
+  v.check = check_;
+  v.entity = entity;
+  v.time = owner_.sim_.now();
+  v.detail = detail;
+  owner_.record(std::move(v));
+}
+
+void InvariantChecker::record(Violation v) {
+  ++total_violations_;
+  if (violations_.size() < max_recorded_) violations_.push_back(std::move(v));
+}
+
+void InvariantChecker::check_now() {
+  ++evaluations_;
+  for (auto& check : checks_) {
+    Context ctx(*this, check.name);
+    check.fn(ctx);
+  }
+}
+
+void InvariantChecker::start_periodic(sim::TimeNs period) {
+  if (period <= 0) {
+    throw std::invalid_argument("InvariantChecker: period must be positive");
+  }
+  if (periodic_started_) {
+    throw std::logic_error("InvariantChecker: periodic evaluation already started");
+  }
+  periodic_started_ = true;
+  sim_.schedule_in(period, [this, period] { tick(period); });
+}
+
+void InvariantChecker::tick(sim::TimeNs period) {
+  check_now();
+  // Checks are read-only, so if nothing else is pending the run is done:
+  // stop ticking rather than keep the sim alive forever.
+  if (sim_.pending_events() == 0) return;
+  sim_.schedule_in(period, [this, period] { tick(period); });
+}
+
+std::string InvariantChecker::summary(std::size_t max_lines) const {
+  std::ostringstream out;
+  out << total_violations_ << " invariant violation(s)";
+  const std::size_t shown =
+      violations_.size() < max_lines ? violations_.size() : max_lines;
+  for (std::size_t i = 0; i < shown; ++i) {
+    out << "\n  " << violations_[i].to_string();
+  }
+  if (total_violations_ > shown) {
+    out << "\n  ... and " << (total_violations_ - shown) << " more";
+  }
+  return out.str();
+}
+
+void InvariantChecker::bind_metrics(telemetry::MetricsRegistry& registry) {
+  registry.counter_fn("invariants.evaluations", {},
+                      [this] { return evaluations_; }, "checks");
+  registry.counter_fn("invariants.violations", {},
+                      [this] { return total_violations_; }, "violations");
+}
+
+}  // namespace pmsb::faults

@@ -1,0 +1,107 @@
+// Runtime invariant checking for simulation runs.
+//
+// An InvariantChecker holds named predicate checks over live simulation
+// state and evaluates them at a configurable cadence (plus once on demand
+// via check_now). Checks are read-only observers: they may inspect any
+// entity but must not mutate it, so enabling the checker never changes a
+// run's packet-level behaviour — only its event count.
+//
+// A failing check reports a structured Violation (check name, entity,
+// simulation time, human-readable counter detail) instead of asserting, so
+// a sweep cell can fail in isolation with a diagnostic while sibling cells
+// keep running. The standard fabric checks (conservation ledger, per-port
+// byte accounting, CE-vs-data sanity, flow liveness) live in
+// faults/standard_checks.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pmsb::faults {
+
+/// One invariant failure, with enough context to debug it post-mortem.
+struct Violation {
+  std::string check;    ///< name of the failing check
+  std::string entity;   ///< entity it concerns ("spine0 port 2", "flow 7")
+  sim::TimeNs time = 0; ///< simulation time of detection
+  std::string detail;   ///< counter values / expected-vs-actual text
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class InvariantChecker {
+ public:
+  /// Handed to each check; call violate() for every failure found.
+  class Context {
+   public:
+    Context(InvariantChecker& owner, std::string check)
+        : owner_(owner), check_(std::move(check)) {}
+
+    void violate(const std::string& entity, const std::string& detail);
+
+   private:
+    InvariantChecker& owner_;
+    std::string check_;
+  };
+
+  using Check = std::function<void(Context&)>;
+
+  explicit InvariantChecker(sim::Simulator& simulator) : sim_(simulator) {}
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  void add_check(std::string name, Check check) {
+    checks_.push_back({std::move(name), std::move(check)});
+  }
+  [[nodiscard]] std::size_t num_checks() const { return checks_.size(); }
+
+  /// Runs every check once at the current simulation time.
+  void check_now();
+
+  /// Schedules periodic evaluation every `period`. The tick does not
+  /// reschedule once the event queue is otherwise empty, so a run still
+  /// terminates when traffic drains.
+  void start_periodic(sim::TimeNs period);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+
+  /// Caps stored violations (default 64) — a systemically broken invariant
+  /// would otherwise flood memory; the count keeps incrementing regardless.
+  void set_max_recorded(std::size_t n) { max_recorded_ = n; }
+  [[nodiscard]] std::uint64_t total_violations() const { return total_violations_; }
+
+  /// First-N violations joined for exception messages / forensic dumps.
+  [[nodiscard]] std::string summary(std::size_t max_lines = 8) const;
+
+  /// Exposes evaluation and violation counts as probe instruments.
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+
+ private:
+  struct NamedCheck {
+    std::string name;
+    Check fn;
+  };
+
+  void record(Violation v);
+  void tick(sim::TimeNs period);
+
+  friend class Context;
+
+  sim::Simulator& sim_;
+  std::vector<NamedCheck> checks_;
+  std::vector<Violation> violations_;
+  std::size_t max_recorded_ = 64;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t evaluations_ = 0;
+  bool periodic_started_ = false;
+};
+
+}  // namespace pmsb::faults

@@ -1,0 +1,84 @@
+#include "faults/watchdog.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace pmsb::faults {
+
+Watchdog::Watchdog(sim::Simulator& simulator, WatchdogConfig config,
+                   std::function<std::uint64_t()> progress,
+                   std::function<bool()> done,
+                   std::function<std::string()> forensics)
+    : sim_(simulator), config_(config), progress_(std::move(progress)),
+      done_(std::move(done)), forensics_(std::move(forensics)) {
+  if (!progress_ || !done_) {
+    throw std::invalid_argument("Watchdog: progress and done probes are required");
+  }
+  if (config_.period <= 0) {
+    throw std::invalid_argument("Watchdog: period must be positive");
+  }
+}
+
+void Watchdog::start() {
+  if (started_) throw std::logic_error("Watchdog::start called twice");
+  started_ = true;
+  last_progress_ = progress_();
+  last_advance_ = sim_.now();
+  sim_.schedule_in(config_.period, [this] { tick(); });
+}
+
+void Watchdog::tick() {
+  if (tripped_) return;
+  ++samples_;
+
+  if (config_.max_events > 0 && sim_.executed_events() > config_.max_events) {
+    std::ostringstream why;
+    why << "event budget exceeded: executed=" << sim_.executed_events()
+        << " budget=" << config_.max_events;
+    trip(why.str());
+    return;
+  }
+
+  const std::uint64_t now_progress = progress_();
+  if (now_progress != last_progress_) {
+    last_progress_ = now_progress;
+    last_advance_ = sim_.now();
+  } else if (config_.stall_horizon > 0 && !done_() &&
+             sim_.now() - last_advance_ >= config_.stall_horizon) {
+    std::ostringstream why;
+    why << "no progress for " << (sim_.now() - last_advance_)
+        << "ns (horizon=" << config_.stall_horizon
+        << "ns, progress=" << now_progress << ")";
+    trip(why.str());
+    return;
+  }
+
+  if (sim_.pending_events() == 0) return;
+  sim_.schedule_in(config_.period, [this] { tick(); });
+}
+
+void Watchdog::trip(const std::string& reason) {
+  tripped_ = true;
+  std::ostringstream out;
+  out << "[watchdog] entity=simulation t=" << sim_.now() << "ns: " << reason
+      << "; executed_events=" << sim_.executed_events()
+      << " pending_events=" << sim_.pending_events()
+      << " max_heap_depth=" << sim_.max_heap_depth();
+  if (forensics_) {
+    const std::string extra = forensics_();
+    if (!extra.empty()) out << "\n" << extra;
+  }
+  diagnostic_ = out.str();
+  // Stop the run so the caller regains control; the diagnostic tells it why.
+  sim_.stop();
+}
+
+void Watchdog::bind_metrics(telemetry::MetricsRegistry& registry) {
+  registry.counter_fn("watchdog.samples", {}, [this] { return samples_; },
+                      "samples");
+  registry.gauge_fn("watchdog.tripped", {},
+                    [this] { return tripped_ ? 1.0 : 0.0; }, "bool");
+}
+
+}  // namespace pmsb::faults

@@ -1,0 +1,79 @@
+// Stall and runaway detection for simulation runs.
+//
+// A Watchdog periodically samples a progress counter (typically total bytes
+// acked across all flows) and the simulator's executed-event count. It trips
+// when either
+//   - progress has not advanced for `horizon` of simulation time while work
+//     is still outstanding (a stalled run: e.g. a link that never came back
+//     up and a transport with no retransmission path), or
+//   - the executed-event count exceeds `max_events` (an event explosion:
+//     e.g. a retransmit storm or a scheduling loop).
+// Tripping records a forensic diagnostic (entity, time, counters, heap
+// stats) and stops the simulator so the caller regains control instead of
+// spinning forever; a sweep turns the diagnostic into a failed cell.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pmsb::faults {
+
+struct WatchdogConfig {
+  /// Trip if progress() is flat for this long while done() is false.
+  /// <= 0 disables stall detection.
+  sim::TimeNs stall_horizon = 0;
+  /// Trip when the simulator has executed more events than this.
+  /// 0 disables the budget.
+  std::uint64_t max_events = 0;
+  /// Sampling cadence; must be positive and should be well below
+  /// stall_horizon for timely detection.
+  sim::TimeNs period = sim::milliseconds(1);
+};
+
+class Watchdog {
+ public:
+  /// `progress` returns a monotone measure of useful work (bytes acked);
+  /// `done` returns true when the run has legitimately finished (so an
+  /// idle tail after completion is not a stall). `forensics` (optional)
+  /// contributes extra lines to the trip diagnostic.
+  Watchdog(sim::Simulator& simulator, WatchdogConfig config,
+           std::function<std::uint64_t()> progress, std::function<bool()> done,
+           std::function<std::string()> forensics = {});
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Begins periodic sampling. Like the invariant checker, the tick stops
+  /// rescheduling when the event queue is otherwise empty.
+  void start();
+
+  [[nodiscard]] bool tripped() const { return tripped_; }
+  /// Why the watchdog fired: entity, simulation time, counters, forensics.
+  [[nodiscard]] const std::string& diagnostic() const { return diagnostic_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+
+ private:
+  void tick();
+  void trip(const std::string& reason);
+
+  sim::Simulator& sim_;
+  WatchdogConfig config_;
+  std::function<std::uint64_t()> progress_;
+  std::function<bool()> done_;
+  std::function<std::string()> forensics_;
+
+  std::uint64_t last_progress_ = 0;
+  sim::TimeNs last_advance_ = 0;
+  std::uint64_t samples_ = 0;
+  bool started_ = false;
+  bool tripped_ = false;
+  std::string diagnostic_;
+};
+
+}  // namespace pmsb::faults

@@ -11,6 +11,7 @@ void Host::send(Packet pkt) {
     throw std::logic_error("Host::send: no uplink attached to " + name());
   }
   pkt.sent_time = sim_.now();
+  ++sent_;
   nic_bytes_ += pkt.size_bytes;
   nic_queue_.push_back(std::move(pkt));
   try_transmit();

@@ -46,6 +46,9 @@ class Host : public Node {
 
   [[nodiscard]] std::size_t nic_backlog_packets() const { return nic_queue_.size(); }
   [[nodiscard]] std::uint64_t nic_backlog_bytes() const { return nic_bytes_; }
+  /// Packets handed to send() — where a packet enters the network for the
+  /// purposes of conservation invariants.
+  [[nodiscard]] std::uint64_t sent_packets() const { return sent_; }
   [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_; }
   [[nodiscard]] std::uint64_t dropped_no_handler() const { return no_handler_; }
 
@@ -59,6 +62,7 @@ class Host : public Node {
   std::uint64_t nic_bytes_ = 0;
   bool transmitting_ = false;
   std::unordered_map<FlowId, PacketHandler> handlers_;
+  std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t no_handler_ = 0;
 };

@@ -11,10 +11,14 @@ TimeNs Link::transmit(Packet pkt) {
   busy_until_ = tx_done;
   bytes_sent_ += pkt.size_bytes;
   ++packets_sent_;
-  Node* dst = dst_;
   sim_.schedule_at(tx_done + delay_,
-                   [dst, p = std::move(pkt)]() mutable { dst->receive(std::move(p)); });
+                   [this, p = std::move(pkt)]() mutable { deliver(std::move(p)); });
   return tx_done;
+}
+
+void Link::deliver(Packet pkt) {
+  ++packets_delivered_;
+  dst_->receive(std::move(pkt));
 }
 
 }  // namespace pmsb::net

@@ -29,14 +29,28 @@ class Link {
   /// which serialization completes (when the device may transmit again).
   TimeNs transmit(Packet pkt);
 
+  /// Re-points the link at a different receiving node. The fault plane uses
+  /// this to interpose an owned FaultInjector between the wire and the real
+  /// device. Packets already in flight are delivered to the NEW destination
+  /// (delivery resolves dst_ at arrival time).
+  void set_destination(Node* destination) { dst_ = destination; }
+
   [[nodiscard]] bool busy() const { return sim_.now() < busy_until_; }
   [[nodiscard]] sim::RateBps rate() const { return rate_; }
   [[nodiscard]] TimeNs propagation_delay() const { return delay_; }
   [[nodiscard]] Node* destination() const { return dst_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_; }
+  /// Packets serialized or serializing but not yet handed to the
+  /// destination — the link's contribution to conservation invariants.
+  [[nodiscard]] std::uint64_t packets_in_flight() const {
+    return packets_sent_ - packets_delivered_;
+  }
 
  private:
+  void deliver(Packet pkt);
+
   sim::Simulator& sim_;
   sim::RateBps rate_;
   TimeNs delay_;
@@ -44,6 +58,7 @@ class Link {
   TimeNs busy_until_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_delivered_ = 0;
 };
 
 }  // namespace pmsb::net

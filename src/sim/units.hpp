@@ -6,6 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "sim/time.hpp"
 
@@ -45,6 +48,35 @@ inline constexpr std::uint64_t bytes_drained(TimeNs t, RateBps rate) {
 /// The bandwidth-delay product C * RTT expressed in bytes.
 inline constexpr std::uint64_t bdp_bytes(RateBps rate, TimeNs rtt) {
   return static_cast<std::uint64_t>(rtt) * rate / 8ull / 1'000'000'000ull;
+}
+
+/// Parses a human-readable duration into TimeNs: a (possibly fractional)
+/// number followed by an optional unit suffix `ns`, `us`, `ms`, or `s`
+/// (bare numbers are nanoseconds). Used by the fault-timeline grammar and
+/// the experiment option parser. Throws std::invalid_argument on malformed
+/// input ("", "10x", "ms").
+inline TimeNs parse_duration_ns(const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) {
+    throw std::invalid_argument("parse_duration_ns: no number in '" + text + "'");
+  }
+  const std::string suffix(end);
+  double scale = 1.0;
+  if (suffix == "ns" || suffix.empty()) {
+    scale = 1.0;
+  } else if (suffix == "us") {
+    scale = 1e3;
+  } else if (suffix == "ms") {
+    scale = 1e6;
+  } else if (suffix == "s") {
+    scale = 1e9;
+  } else {
+    throw std::invalid_argument("parse_duration_ns: bad unit '" + suffix + "' in '" +
+                                text + "'");
+  }
+  return static_cast<TimeNs>(value * scale);
 }
 
 /// Converts a threshold given in packets (the paper's unit) to bytes.

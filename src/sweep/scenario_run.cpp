@@ -1,12 +1,18 @@
 #include "sweep/scenario_run.hpp"
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "experiments/dumbbell.hpp"
 #include "experiments/leafspine.hpp"
 #include "experiments/presets.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/invariants.hpp"
+#include "faults/watchdog.hpp"
 #include "sim/rng.hpp"
 #include "stats/csv.hpp"
 #include "stats/summary.hpp"
@@ -89,6 +95,107 @@ struct RunTelemetry {
   std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
 };
 
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(',', start);
+    if (pos == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      break;
+    }
+    if (pos > start) out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+/// Robustness wiring shared by both topologies: a FaultPlan built from the
+/// `faults=` grammar plus the sweep-friendly `bleach=` sugar (grid values
+/// cannot contain ':' or ',', so the headline bleach sweep gets its own
+/// scalar key), an InvariantChecker (on by default; `invariants=0` opts
+/// out), and a Watchdog when a horizon or event budget is configured.
+///
+/// Declare AFTER the scenario so it is destroyed first: the checker and
+/// watchdog hold the scenario's simulator by reference.
+struct Robustness {
+  faults::FaultPlan plan;
+  std::unique_ptr<faults::InvariantChecker> checker;
+  std::unique_ptr<faults::Watchdog> watchdog;
+
+  template <typename Scenario>
+  void install(Scenario& sc, const Options& opts,
+               const std::vector<std::string>& default_bleach_nodes,
+               std::function<std::uint64_t()> progress, std::function<bool()> done,
+               std::function<std::string()> forensics) {
+    std::string spec = opts.get("faults");
+    if (opts.get_double("bleach", 0.0) > 0.0) {
+      std::vector<std::string> nodes = opts.has("bleach_at")
+                                           ? split_csv(opts.get("bleach_at"))
+                                           : default_bleach_nodes;
+      for (const auto& node : nodes) {
+        if (!spec.empty()) spec += ';';
+        spec += "bleach:" + node + ":" + opts.get("bleach");
+      }
+    }
+    if (!spec.empty()) {
+      plan.add_spec_string(spec);
+      // Decorrelate fault randomness from the workload stream.
+      sc.install_faults(plan,
+                        static_cast<std::uint64_t>(opts.get_int("seed", 1)) ^ 0xfa17);
+    }
+
+    if (opts.get_bool("invariants", true)) {
+      checker = std::make_unique<faults::InvariantChecker>(sc.simulator());
+      sc.install_invariants(*checker);
+      if (opts.get("fault_test") == "break_invariant") {
+        // Deliberately unbalance the conservation ledger so tests can prove
+        // a violation is caught and reported, not silently absorbed.
+        sc.ledger().skew_injected_for_test(1);
+      }
+      checker->start_periodic(
+          sim::microseconds_f(opts.get_double("invariant_period_us", 100.0)));
+    }
+
+    if (opts.has("watchdog_horizon_ms") || opts.has("watchdog_events")) {
+      faults::WatchdogConfig wcfg;
+      wcfg.stall_horizon = sim::milliseconds(opts.get_int("watchdog_horizon_ms", 0));
+      wcfg.max_events = static_cast<std::uint64_t>(opts.get_int("watchdog_events", 0));
+      wcfg.period = sim::microseconds_f(opts.get_double("watchdog_period_us", 100.0));
+      watchdog = std::make_unique<faults::Watchdog>(sc.simulator(), wcfg,
+                                                    std::move(progress), std::move(done),
+                                                    std::move(forensics));
+      watchdog->start();
+    }
+  }
+
+  void bind(telemetry::MetricsRegistry& registry) {
+    plan.bind_metrics(registry);
+    if (checker) checker->bind_metrics(registry);
+    if (watchdog) watchdog->bind_metrics(registry);
+  }
+
+  /// Final validation after the run: one last invariant pass, per-cell
+  /// fault/invariant counters into the record, and a throw (failing this
+  /// cell in isolation) if the watchdog tripped or any invariant broke.
+  void finalize(RunRecord& rec) {
+    rec.results["faults.dropped"] = static_cast<double>(plan.dropped());
+    rec.results["faults.bleached"] = static_cast<double>(plan.bleached());
+    rec.results["faults.forwarded"] = static_cast<double>(plan.forwarded());
+    if (checker) {
+      checker->check_now();
+      rec.results["invariants.evaluations"] = static_cast<double>(checker->evaluations());
+      rec.results["invariants.violations"] =
+          static_cast<double>(checker->total_violations());
+    }
+    if (watchdog) {
+      rec.results["watchdog.tripped"] = watchdog->tripped() ? 1.0 : 0.0;
+      if (watchdog->tripped()) throw std::runtime_error(watchdog->diagnostic());
+    }
+    if (checker && !checker->clean()) throw std::runtime_error(checker->summary());
+  }
+};
+
 void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
   DumbbellConfig cfg;
   const auto queues = static_cast<std::size_t>(opts.get_int("queues", 2));
@@ -138,8 +245,19 @@ void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
     }
   }
 
+  Robustness robust;
+  robust.install(
+      sc, opts, {"switch"}, [&sc] { return sc.total_bytes_acked(); },
+      [&sc] { return sc.all_complete(); },
+      [&sc] {
+        return "bytes_acked=" + std::to_string(sc.total_bytes_acked()) +
+               " bottleneck_backlog=" + std::to_string(sc.bottleneck().buffered_bytes()) +
+               "B";
+      });
+
   RunTelemetry telemetry(opts, quiet);
   telemetry.attach(sc);
+  if (!telemetry.metrics_path.empty()) robust.bind(telemetry.registry);
   telemetry.manifest.set_seed(static_cast<std::uint64_t>(opts.get_int("seed", 0)));
   telemetry.manifest.set_info("topology", "dumbbell");
   telemetry.manifest.set_info("scheme", scheme_name(scheme));
@@ -179,6 +297,7 @@ void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
   rec.results["rtt_us.p99"] = rtt.percentile(99);
   rec.results["marks"] = static_cast<double>(marks);
   rec.results["drops"] = static_cast<double>(drops);
+  robust.finalize(rec);
   rec.info["topology"] = "dumbbell";
   rec.info["scheme"] = scheme_name(scheme);
   rec.info["scheduler"] = sc.bottleneck().scheduler().name();
@@ -223,8 +342,25 @@ void run_leafspine(const Options& opts, bool quiet, RunRecord& rec) {
   sim::Rng rng(seed);
   sc.add_workload(workload::generate_poisson_traffic(tc, dist, rng));
 
+  // Default bleach location: every spine — the classic "broken middlebox in
+  // the core" failure the headline experiment studies.
+  std::vector<std::string> spine_names;
+  for (std::size_t s = 0; s < cfg.num_spines; ++s) {
+    spine_names.push_back("spine" + std::to_string(s));
+  }
+  Robustness robust;
+  robust.install(
+      sc, opts, spine_names, [&sc] { return sc.total_bytes_acked(); },
+      [&sc] { return sc.all_complete(); },
+      [&sc] {
+        return "flows_completed=" + std::to_string(sc.completed_flows()) + "/" +
+               std::to_string(sc.total_flows()) +
+               " bytes_acked=" + std::to_string(sc.total_bytes_acked());
+      });
+
   RunTelemetry telemetry(opts, quiet);
   telemetry.attach(sc);
+  if (!telemetry.metrics_path.empty()) robust.bind(telemetry.registry);
   telemetry.manifest.set_seed(seed);
   telemetry.manifest.set_info("topology", "leafspine");
   telemetry.manifest.set_info("scheme", scheme_name(scheme));
@@ -274,6 +410,7 @@ void run_leafspine(const Options& opts, bool quiet, RunRecord& rec) {
   record_fct("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
   record_fct("large", sc.fct().fct_us(stats::SizeBin::kLarge));
   record_fct("overall", sc.fct().overall_fct_us());
+  robust.finalize(rec);
   for (const auto& [k, v] : rec.results) telemetry.manifest.set_result(k, v);
   telemetry.manifest.set_result("flows_completed",
                                 static_cast<double>(sc.completed_flows()));

@@ -82,7 +82,11 @@ void DctcpSender::send_segment(std::uint64_t seq, bool is_retransmit) {
   pkt.ect = cfg_.ecn_enabled;
   local_.send(std::move(pkt));
   ++stats_.segments_sent;
-  if (is_retransmit) ++stats_.retransmits;
+  // Go-back-N resends after an RTO arrive here through the normal send path
+  // with is_retransmit=false; anything starting below snd_max_ has been on
+  // the wire before, so count it too.
+  if (is_retransmit || seq < snd_max_) ++stats_.retransmits;
+  if (seq + payload > snd_max_) snd_max_ = seq + payload;
   last_progress_ = sim_.now();
 }
 

@@ -131,6 +131,12 @@ class DctcpSender {
   [[nodiscard]] double alpha() const { return alpha_; }
   [[nodiscard]] std::uint64_t bytes_acked() const { return snd_una_; }
   [[nodiscard]] bool complete() const { return completed_; }
+  [[nodiscard]] bool started() const { return started_; }
+  /// Bytes sent but not yet cumulatively acked.
+  [[nodiscard]] std::uint64_t bytes_inflight() const { return inflight(); }
+  /// Whether the retransmission timer is armed. A started, incomplete flow
+  /// with bytes in flight must have it armed — the flow-liveness invariant.
+  [[nodiscard]] bool rto_armed() const { return rto_armed_; }
   [[nodiscard]] TimeNs start_time() const { return start_time_; }
   [[nodiscard]] TimeNs completion_time() const { return completion_time_; }
   [[nodiscard]] const SenderStats& stats() const { return stats_; }
@@ -166,6 +172,7 @@ class DctcpSender {
   // --- TCP state (bytes) ---
   std::uint64_t snd_una_ = 0;
   std::uint64_t snd_nxt_ = 0;
+  std::uint64_t snd_max_ = 0;  ///< highest byte ever sent; below = retransmit
   double cwnd_ = 0;
   double ssthresh_ = std::numeric_limits<double>::max();
   int dup_acks_ = 0;

@@ -122,6 +122,61 @@ TEST(FaultInjection, ReorderingTriggersFastRetransmitNotCollapse) {
   EXPECT_LE(flow.sender().stats().timeouts, 2u);
 }
 
+namespace {
+
+// Like LossyPair but with an injector on the ACK return path too, so tests
+// can fault data and ACK traffic independently.
+struct LossyDuplex {
+  sim::Simulator sim;
+  Host a{sim, 0, "a"};
+  Host b{sim, 1, "b"};
+  FaultInjector to_b{sim, &b};
+  FaultInjector to_a{sim, &a};
+  Link ab{sim, sim::gbps(10), sim::microseconds(2), &to_b};
+  Link ba{sim, sim::gbps(10), sim::microseconds(2), &to_a};
+
+  LossyDuplex() {
+    a.attach_uplink(&ab);
+    b.attach_uplink(&ba);
+  }
+};
+
+}  // namespace
+
+TEST(FaultInjection, SingleCountedDataDropRecoversByFastRetransmit) {
+  LossyPair net;
+  transport::DctcpConfig cfg;
+  transport::Flow flow(net.sim, net.a, net.b, 1, 0, 1'000'000, cfg);
+  flow.start(0);
+  // One counted drop mid-stream: the packets behind it generate dupacks, so
+  // recovery must come from fast retransmit, never a timeout.
+  net.sim.schedule_at(sim::microseconds(200), [&] { net.to_b.drop_next(1); });
+  net.sim.run(sim::seconds(10));
+  ASSERT_TRUE(flow.sender().complete());
+  EXPECT_EQ(flow.receiver().rcv_nxt(), 1'000'000u);
+  EXPECT_EQ(net.to_b.counters().dropped_counted, 1u);
+  EXPECT_GE(flow.sender().stats().retransmits, 1u);
+  EXPECT_EQ(flow.sender().stats().timeouts, 0u);
+}
+
+TEST(FaultInjection, AckBlackoutForcesRtoThenGoBackNRecovery) {
+  LossyDuplex net;
+  transport::DctcpConfig cfg;
+  transport::Flow flow(net.sim, net.a, net.b, 1, 0, 1'000'000, cfg);
+  flow.start(0);
+  // Blackhole every pure ACK for 5 ms: no dupacks can arrive, so the only
+  // way out is the retransmission timer firing and go-back-N resending from
+  // snd_una until the ACK path heals.
+  net.sim.schedule_at(sim::microseconds(200), [&] { net.to_a.set_down(true); });
+  net.sim.schedule_at(sim::microseconds(5200), [&] { net.to_a.set_down(false); });
+  net.sim.run(sim::seconds(10));
+  ASSERT_TRUE(flow.sender().complete());
+  EXPECT_EQ(flow.receiver().rcv_nxt(), 1'000'000u);
+  EXPECT_GT(net.to_a.counters().dropped_down, 0u);  // pure ACKs were dropped
+  EXPECT_GE(flow.sender().stats().timeouts, 1u);
+  EXPECT_GE(flow.sender().stats().retransmits, 1u);
+}
+
 TEST(FaultInjection, HeavyLossStillMakesProgress) {
   LossyPair net;
   net.to_b.set_drop_rate(0.05);

@@ -36,6 +36,24 @@
 //   sweep_manifest_dir existing dir: per-run pmsb.run_manifest/1 files
 //                      (run_000.json, ...). timeseries_csv / fct_csv are
 //                      ignored inside sweeps (the paths would collide).
+// Robustness keys (see docs/ROBUSTNESS.md):
+//   faults             fault timeline, clauses joined by ';':
+//                      link:A-B:down@T1..T2 | loss:A->B:P | delay:A->B:D[+J]
+//                      | bleach:A:P  (durations take ns/us/ms/s suffixes)
+//   bleach             scalar sugar for sweeps: bleach probability applied
+//                      at every default marking node (dumbbell: the switch;
+//                      leafspine: every spine). Grid values cannot contain
+//                      ':' so the headline bleach sweep uses this key.
+//   bleach_at          comma list of node names overriding the default
+//                      bleach locations
+//   invariants         0 disables runtime invariant checking (default 1)
+//   invariant_period_us  checking cadence (default 100)
+//   watchdog_horizon_ms  abort when no flow progress for this long
+//   watchdog_events      abort when executed events exceed this budget
+//   watchdog_period_us   watchdog sampling cadence (default 100)
+//   A tripped watchdog or a failed invariant makes a single run exit 2 with
+//   the diagnostic on stderr; inside a sweep only that cell fails (exit 1,
+//   diagnostic in the sweep report).
 // Dumbbell keys: flows_per_queue (e.g. "1,8"), duration_ms, link_gbps,
 //                link_delay_us
 // Leaf-spine keys: load, flows, seed, workload (paper-mix | web-search |
