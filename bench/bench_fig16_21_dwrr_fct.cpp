@@ -47,7 +47,7 @@ int main() {
     }
   }
   const std::size_t jobs = bench::bench_jobs();
-  std::printf("(%zu runs x jobs=%zu)\n", cells.size(), jobs);
+  bench::announce_grid(cells.size(), jobs);
   const auto runs = bench::run_fct_grid(cells, jobs);
 
   stats::Table table({"load", "scheme", "overall_avg", "large_avg", "large_p99",

@@ -24,18 +24,40 @@ int main() {
   const auto loads = bench::default_loads();
   const std::size_t flows = bench::scaled(300, 2000);
 
+  // Same flat (load, scheme, seed) grid shape as Figs. 16-21: one
+  // parallel_for over every run, results in input order, so the aggregated
+  // figures are bit-identical for any PMSB_BENCH_JOBS — and the grid picks
+  // up the shared checkpoint / per-cell timeout wiring.
+  const auto seeds = bench::default_seeds();
+  std::vector<bench::FctRunConfig> cells;
+  for (double load : loads) {
+    for (Scheme scheme : schemes) {
+      for (std::uint64_t seed : seeds) {
+        bench::FctRunConfig rc;
+        rc.scheme = scheme;
+        rc.scheduler = sched::SchedulerKind::kWfq;
+        rc.load = load;
+        rc.num_flows = flows;
+        rc.seed = seed;
+        cells.push_back(rc);
+      }
+    }
+  }
+  const std::size_t jobs = bench::bench_jobs();
+  bench::announce_grid(cells.size(), jobs);
+  const auto runs = bench::run_fct_grid(cells, jobs);
+
   stats::Table table({"load", "scheme", "overall_avg", "large_avg", "large_p99",
                       "small_avg", "small_p95", "small_p99"},
                      12);
   std::map<std::pair<double, Scheme>, bench::FctResult> results;
+  std::size_t next = 0;
   for (double load : loads) {
     for (Scheme scheme : schemes) {
-      bench::FctRunConfig rc;
-      rc.scheme = scheme;
-      rc.scheduler = sched::SchedulerKind::kWfq;
-      rc.load = load;
-      rc.num_flows = flows;
-      const auto r = bench::run_fct_cell(rc, bench::default_seeds());
+      const std::vector<bench::FctResult> cell(runs.begin() + next,
+                                               runs.begin() + next + seeds.size());
+      next += seeds.size();
+      const auto r = bench::aggregate_fct_cell(cell);
       results[{load, scheme}] = r;
       table.add_row({stats::Table::num(load, 1), scheme_name(scheme),
                      stats::Table::num(r.overall_avg, 0),

@@ -1,13 +1,17 @@
-// Sweep runner benchmark: determinism + parallel speedup.
+// Sweep runner benchmark: determinism + parallel speedup + salvage cost.
 //
 // Runs the same 16-point leaf-spine grid (4 loads x 4 schemes) twice — once
 // serially (jobs=1) and once across the worker pool — and checks that every
 // per-run deterministic_signature() is bit-identical between the two. On an
 // 8-core host the parallel pass should land near-linear (>= 3x); on small
 // hosts the determinism check is the point and the speedup line is
-// informational.
+// informational. A third pass writes per-run manifests and a fourth resumes
+// from them: the resume must salvage every cell (zero re-runs), reproduce
+// every signature bit-for-bit, and cost a small fraction of a real sweep.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_common.hpp"
 #include "fct_common.hpp"
@@ -17,10 +21,9 @@ using namespace pmsb;
 
 namespace {
 
-double timed_sweep(const std::vector<sweep::SweepPoint>& points, std::size_t jobs,
+double timed_sweep(const std::vector<sweep::SweepPoint>& points,
+                   const sweep::SweepConfig& cfg,
                    std::vector<sweep::RunRecord>& records) {
-  sweep::SweepConfig cfg;
-  cfg.jobs = jobs;
   const auto t0 = std::chrono::steady_clock::now();
   records = sweep::run_sweep(points, cfg);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -44,8 +47,12 @@ int main() {
 
   const std::size_t jobs = bench::bench_jobs();
   std::vector<sweep::RunRecord> serial, parallel;
-  const double t_serial = timed_sweep(points, 1, serial);
-  const double t_parallel = timed_sweep(points, jobs, parallel);
+  sweep::SweepConfig serial_cfg;
+  serial_cfg.jobs = 1;
+  sweep::SweepConfig parallel_cfg;
+  parallel_cfg.jobs = jobs;
+  const double t_serial = timed_sweep(points, serial_cfg, serial);
+  const double t_parallel = timed_sweep(points, parallel_cfg, parallel);
 
   std::size_t mismatches = 0, failures = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -57,12 +64,54 @@ int main() {
     }
   }
 
+  // Salvage pass: write manifests, then resume from them. Every cell must
+  // rehydrate (no re-runs), and every signature must match the live run.
+  namespace fs = std::filesystem;
+  const fs::path manifest_dir =
+      fs::temp_directory_path() / "pmsb_bench_sweep_manifests";
+  fs::remove_all(manifest_dir);
+  fs::create_directories(manifest_dir);
+
+  sweep::SweepConfig write_cfg;
+  write_cfg.jobs = jobs;
+  write_cfg.manifest_dir = manifest_dir.string();
+  std::vector<sweep::RunRecord> written, resumed;
+  const double t_write = timed_sweep(points, write_cfg, written);
+
+  std::atomic<std::size_t> reruns{0};
+  sweep::SweepConfig resume_cfg = write_cfg;
+  resume_cfg.resume = true;
+  resume_cfg.on_cell_run = [&](std::size_t) {
+    reruns.fetch_add(1, std::memory_order_relaxed);
+  };
+  const double t_resume = timed_sweep(points, resume_cfg, resumed);
+
+  std::size_t salvage_mismatches = 0, salvage_misses = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!resumed[i].salvaged) ++salvage_misses;
+    if (sweep::deterministic_signature(written[i]) !=
+        sweep::deterministic_signature(resumed[i])) {
+      ++salvage_mismatches;
+      std::printf("SALVAGE MISMATCH [%zu] %s\n", i, written[i].label.c_str());
+    }
+  }
+  fs::remove_all(manifest_dir);
+
   std::printf("points=%zu  jobs=%zu\n", points.size(), jobs);
   std::printf("serial   : %.2f s\n", t_serial);
   std::printf("parallel : %.2f s  (speedup %.2fx)\n", t_parallel,
               t_parallel > 0 ? t_serial / t_parallel : 0.0);
+  std::printf("manifests: %.2f s to write, %.2f s to salvage all %zu\n", t_write,
+              t_resume, points.size());
   std::printf("signatures: %s (%zu mismatches, %zu failed runs)\n",
               mismatches == 0 && failures == 0 ? "IDENTICAL" : "DIFFER",
               mismatches, failures);
-  return (mismatches == 0 && failures == 0) ? 0 : 1;
+  std::printf("salvage   : %s (%zu re-runs, %zu missed, %zu mismatches)\n",
+              reruns.load() == 0 && salvage_misses == 0 && salvage_mismatches == 0
+                  ? "CLEAN"
+                  : "DIRTY",
+              reruns.load(), salvage_misses, salvage_mismatches);
+  const bool ok = mismatches == 0 && failures == 0 && reruns.load() == 0 &&
+                  salvage_misses == 0 && salvage_mismatches == 0;
+  return ok ? 0 : 1;
 }

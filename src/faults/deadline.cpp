@@ -1,0 +1,55 @@
+#include "faults/deadline.hpp"
+
+#include <sstream>
+
+namespace pmsb::faults {
+
+Deadline::Deadline(sim::Simulator& simulator, double limit_s, sim::TimeNs period)
+    : sim_(simulator), limit_s_(limit_s), period_(period) {
+  if (limit_s_ <= 0.0) {
+    throw std::invalid_argument("Deadline: limit must be positive");
+  }
+  if (period_ <= 0) {
+    throw std::invalid_argument("Deadline: period must be positive");
+  }
+}
+
+void Deadline::start() {
+  if (started_) throw std::logic_error("Deadline::start called twice");
+  started_ = true;
+  sim_.schedule_in(period_, [this] { tick(); });
+}
+
+double Deadline::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_wall_)
+      .count();
+}
+
+void Deadline::tick() {
+  ++samples_;
+  const double elapsed = elapsed_s();
+  if (elapsed >= limit_s_) {
+    expired_ = true;
+    std::ostringstream why;
+    // The limit, not the measured elapsed time, goes into what(): the
+    // message lands in sweep-report `error` fields that should stay as
+    // reproducible as a wall-clock failure can be. wall_ms in the record
+    // carries the measurement.
+    why << "[cell_timeout] wall-clock limit " << limit_s_
+        << "s exceeded (phase=run, sim_time=" << sim::to_microseconds(sim_.now())
+        << "us, executed_events=" << sim_.executed_events() << ")";
+    throw DeadlineExceeded(why.str(), limit_s_, elapsed);
+  }
+  if (sim_.pending_events() == 0) return;
+  sim_.schedule_in(period_, [this] { tick(); });
+}
+
+void Deadline::bind_metrics(telemetry::MetricsRegistry& registry) {
+  registry.counter_fn("deadline.samples", {}, [this] { return samples_; },
+                      "samples");
+  registry.gauge_fn("deadline.expired", {},
+                    [this] { return expired_ ? 1.0 : 0.0; }, "bool");
+}
+
+}  // namespace pmsb::faults

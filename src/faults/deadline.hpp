@@ -1,0 +1,71 @@
+// Wall-clock deadline for a single simulation run.
+//
+// The Watchdog bounds *simulated* time and the event count; a pathological
+// cell can still burn unbounded *host* time (an event storm that advances
+// simulated time slowly, a scheme parameterization that makes every packet
+// expensive). A Deadline samples the host monotonic clock from inside the
+// simulator's event loop — the same periodic-tick pattern the Watchdog
+// uses — and, once the wall budget is exhausted, throws DeadlineExceeded
+// out of Simulator::run(). A sweep worker catches it and fails only that
+// cell with the diagnostic in the sweep report; sibling cells proceed.
+//
+// Limits, shared with the Watchdog: the tick is a simulation event, so a
+// loop that never advances simulated time never reaches the next tick.
+// Pair with `watchdog_events=` to bound same-instant event explosions.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pmsb::faults {
+
+/// Thrown from the event loop when a Deadline expires. what() carries the
+/// structured diagnostic (limit, phase, simulated time, executed events).
+struct DeadlineExceeded : std::runtime_error {
+  DeadlineExceeded(const std::string& what, double limit, double elapsed)
+      : std::runtime_error(what), limit_s(limit), elapsed_s(elapsed) {}
+
+  double limit_s;    ///< configured wall budget
+  double elapsed_s;  ///< measured wall seconds when the deadline fired
+};
+
+class Deadline {
+ public:
+  /// The wall clock starts at construction; `limit_s` is the host-seconds
+  /// budget (> 0), `period` the simulated-time sampling cadence (> 0).
+  Deadline(sim::Simulator& simulator, double limit_s,
+           sim::TimeNs period = sim::microseconds(500));
+  Deadline(const Deadline&) = delete;
+  Deadline& operator=(const Deadline&) = delete;
+
+  /// Arms the periodic check. Like the watchdog tick, it stops rescheduling
+  /// when the event queue is otherwise empty.
+  void start();
+
+  [[nodiscard]] bool expired() const { return expired_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  /// Wall seconds since construction.
+  [[nodiscard]] double elapsed_s() const;
+
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  double limit_s_;
+  sim::TimeNs period_;
+  std::chrono::steady_clock::time_point start_wall_ =
+      std::chrono::steady_clock::now();
+  std::uint64_t samples_ = 0;
+  bool started_ = false;
+  bool expired_ = false;
+};
+
+}  // namespace pmsb::faults

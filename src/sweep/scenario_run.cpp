@@ -10,6 +10,7 @@
 #include "experiments/dumbbell.hpp"
 #include "experiments/leafspine.hpp"
 #include "experiments/presets.hpp"
+#include "faults/deadline.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/invariants.hpp"
 #include "faults/watchdog.hpp"
@@ -78,6 +79,9 @@ struct RunTelemetry {
     }
     if (!metrics_path.empty()) {
       manifest.set_sim_time_us(sim_time_us);
+      // Only completed runs reach finish(); the marker is what lets a
+      // resumed sweep tell a salvageable manifest from a failed cell's stub.
+      manifest.set_info("status", "ok");
       manifest.write(metrics_path, &registry);
       if (!quiet) {
         std::printf("wrote %s (%zu instruments)\n", metrics_path.c_str(),
@@ -122,6 +126,7 @@ struct Robustness {
   faults::FaultPlan plan;
   std::unique_ptr<faults::InvariantChecker> checker;
   std::unique_ptr<faults::Watchdog> watchdog;
+  std::unique_ptr<faults::Deadline> deadline;
 
   template <typename Scenario>
   void install(Scenario& sc, const Options& opts,
@@ -167,12 +172,24 @@ struct Robustness {
                                                     std::move(forensics));
       watchdog->start();
     }
+
+    // Wall-clock budget: the watchdog bounds simulated time and events; the
+    // deadline bounds host time. Expiry throws out of the event loop and
+    // fails this cell alone.
+    const double cell_timeout_s = opts.get_double("cell_timeout_s", 0.0);
+    if (cell_timeout_s > 0.0) {
+      deadline = std::make_unique<faults::Deadline>(
+          sc.simulator(), cell_timeout_s,
+          sim::microseconds_f(opts.get_double("cell_timeout_period_us", 500.0)));
+      deadline->start();
+    }
   }
 
   void bind(telemetry::MetricsRegistry& registry) {
     plan.bind_metrics(registry);
     if (checker) checker->bind_metrics(registry);
     if (watchdog) watchdog->bind_metrics(registry);
+    if (deadline) deadline->bind_metrics(registry);
   }
 
   /// Final validation after the run: one last invariant pass, per-cell
@@ -284,7 +301,6 @@ void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
     table.add_row({std::to_string(q), stats::Table::num(flows_per_queue[q], 0),
                    stats::Table::num(gbps)});
     rec.results["throughput_gbps.q" + std::to_string(q)] = gbps;
-    telemetry.manifest.set_result("throughput_gbps.q" + std::to_string(q), gbps);
   }
   if (!quiet) {
     table.print();
@@ -302,8 +318,9 @@ void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
   rec.info["scheme"] = scheme_name(scheme);
   rec.info["scheduler"] = sc.bottleneck().scheduler().name();
   rec.sim_time_us = sim::to_microseconds(sc.simulator().now());
-  telemetry.manifest.set_result("rtt_us.mean", rtt.mean());
-  telemetry.manifest.set_result("rtt_us.p99", rtt.percentile(99));
+  // Mirror every record result into the manifest so a resumed sweep can
+  // rehydrate a bit-identical RunRecord from the file alone.
+  for (const auto& [k, v] : rec.results) telemetry.manifest.set_result(k, v);
   telemetry.finish(rec.sim_time_us);
   rec.manifest_path = telemetry.metrics_path;
 }

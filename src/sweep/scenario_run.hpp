@@ -16,8 +16,9 @@ namespace pmsb::sweep {
 /// Runs the scenario `point.opts` describes and returns its record. With
 /// quiet=false the run also prints the human-readable tables pmsbsim shows.
 /// Honors `metrics_json=` (pmsb.run_manifest/1) and, when quiet, ignores
-/// console-only keys. Throws std::invalid_argument on unknown topology /
-/// scheme / malformed options.
+/// console-only keys. `cell_timeout_s=` arms a wall-clock faults::Deadline
+/// on the run's simulator; expiry throws faults::DeadlineExceeded. Throws
+/// std::invalid_argument on unknown topology / scheme / malformed options.
 [[nodiscard]] RunRecord run_scenario(const SweepPoint& point, bool quiet);
 
 }  // namespace pmsb::sweep

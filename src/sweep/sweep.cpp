@@ -11,7 +11,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "faults/deadline.hpp"
 #include "sweep/scenario_run.hpp"
+#include "telemetry/manifest_reader.hpp"
 #include "telemetry/run_report.hpp"
 
 namespace pmsb::sweep {
@@ -129,6 +131,119 @@ void parallel_for(std::size_t n, std::size_t jobs,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+std::string manifest_file_name(std::size_t index, std::size_t grid_size) {
+  const std::size_t max_index = grid_size == 0 ? 0 : grid_size - 1;
+  std::size_t digits = 1;
+  for (std::size_t v = max_index; v >= 10; v /= 10) ++digits;
+  const int width = static_cast<int>(std::max<std::size_t>(3, digits));
+  char name[48];
+  std::snprintf(name, sizeof(name), "run_%0*zu.json", width, index);
+  return name;
+}
+
+namespace {
+
+/// Applies the per-cell option transforms run_sweep makes before a cell
+/// executes. Salvage validates manifests against the transformed options,
+/// so the interrupted run and the resume must go through the same code.
+void prepare_point(SweepPoint& point, const SweepConfig& config,
+                   const std::string& manifest_path) {
+  if (!manifest_path.empty()) point.opts.set("metrics_json", manifest_path);
+  if (config.cell_timeout_s > 0.0) {
+    point.opts.set("cell_timeout_s", format_double(config.cell_timeout_s));
+  }
+  // Per-point file outputs other than the manifest would collide across
+  // points (every point would write the same path); drop them.
+  point.opts.erase("timeseries_csv");
+  point.opts.erase("fct_csv");
+}
+
+/// Best-effort stub manifest for a failed cell: enough for a later resume
+/// to see info.status=failed and re-run the cell rather than salvage it.
+void write_failure_manifest(const std::string& path, const SweepPoint& point,
+                            const std::string& error) {
+  telemetry::RunManifest manifest("pmsbsim-sweep");
+  manifest.set_config(point.opts.values());
+  manifest.set_seed(static_cast<std::uint64_t>(point.opts.get_int("seed", 0)));
+  manifest.set_info("status", "failed");
+  manifest.set_info("error", error);
+  try {
+    manifest.write(path, nullptr);
+  } catch (...) {
+    // The failed record already carries the error; a missing stub only
+    // means a resume re-runs the cell, which is the safe direction.
+  }
+}
+
+}  // namespace
+
+SalvageOutcome try_salvage_cell(const std::string& manifest_path,
+                                const SweepPoint& point) {
+  SalvageOutcome out;
+  telemetry::ManifestData manifest;
+  try {
+    manifest = telemetry::read_run_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    out.reason = e.what();
+    return out;
+  }
+  if (manifest.schema != "pmsb.run_manifest/1") {
+    out.reason = "schema is '" + manifest.schema + "', not pmsb.run_manifest/1";
+    return out;
+  }
+  const auto status = manifest.info.find("status");
+  if (status == manifest.info.end() || status->second != "ok") {
+    out.reason = "not a completed run (status=" +
+                 (status == manifest.info.end() ? std::string("<missing>")
+                                                : status->second) +
+                 ")";
+    return out;
+  }
+  if (manifest.results.empty()) {
+    out.reason = "manifest carries no results";
+    return out;
+  }
+  const auto& expected = point.opts.values();
+  if (manifest.config != expected) {
+    // Name one drifted key so the operator can see what changed.
+    std::string detail = "config drift vs grid point";
+    for (const auto& [k, v] : expected) {
+      const auto it = manifest.config.find(k);
+      if (it == manifest.config.end()) {
+        detail += ": '" + k + "' missing from manifest";
+        break;
+      }
+      if (it->second != v) {
+        detail += ": '" + k + "' is '" + it->second + "', grid wants '" + v + "'";
+        break;
+      }
+    }
+    for (const auto& [k, v] : manifest.config) {
+      (void)v;
+      if (expected.count(k) == 0) {
+        detail += ": '" + k + "' not in grid point";
+        break;
+      }
+    }
+    out.reason = detail;
+    return out;
+  }
+
+  RunRecord rec;
+  rec.index = point.index;
+  rec.label = point.label;
+  rec.ok = true;
+  rec.config = manifest.config;
+  rec.info = manifest.info;
+  rec.info.erase("status");  // manifest-only marker, not part of the record
+  rec.results = manifest.results;
+  rec.sim_time_us = manifest.sim_time_us;
+  rec.manifest_path = manifest_path;
+  rec.salvaged = true;
+  out.record = std::move(rec);
+  return out;
+}
+
 std::vector<RunRecord> run_sweep(const std::vector<SweepPoint>& points,
                                  const SweepConfig& config) {
   std::vector<RunRecord> records(points.size());
@@ -136,37 +251,61 @@ std::vector<RunRecord> run_sweep(const std::vector<SweepPoint>& points,
   std::mutex print_mutex;
   parallel_for(points.size(), config.jobs, [&](std::size_t i) {
     SweepPoint point = points[i];
+    std::string manifest_path;
     if (!config.manifest_dir.empty()) {
-      char name[32];
-      std::snprintf(name, sizeof(name), "run_%03zu.json", point.index);
-      point.opts.set("metrics_json", config.manifest_dir + "/" + name);
+      manifest_path =
+          config.manifest_dir + "/" + manifest_file_name(point.index, points.size());
     }
-    // Per-point file outputs other than the manifest would collide across
-    // points (every point would write the same path); drop them.
-    point.opts.erase("timeseries_csv");
-    point.opts.erase("fct_csv");
+    prepare_point(point, config, manifest_path);
 
-    const auto t0 = std::chrono::steady_clock::now();
-    RunRecord rec;
-    try {
-      rec = run_scenario(point, /*quiet=*/true);
-    } catch (const std::exception& e) {
-      rec.index = point.index;
-      rec.label = point.label;
-      rec.ok = false;
-      rec.error = e.what();
-      rec.config = point.opts.values();
+    bool salvaged = false;
+    std::string rerun_reason;
+    if (config.resume && !manifest_path.empty()) {
+      SalvageOutcome salvage = try_salvage_cell(manifest_path, point);
+      if (salvage.record.has_value()) {
+        records[i] = std::move(*salvage.record);
+        salvaged = true;
+      } else {
+        rerun_reason = std::move(salvage.reason);
+      }
     }
-    rec.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-    records[i] = std::move(rec);
+
+    if (!salvaged) {
+      if (config.on_cell_run) config.on_cell_run(point.index);
+      const auto t0 = std::chrono::steady_clock::now();
+      RunRecord rec;
+      try {
+        rec = run_scenario(point, /*quiet=*/true);
+      } catch (const std::exception& e) {
+        rec.index = point.index;
+        rec.label = point.label;
+        rec.ok = false;
+        rec.error = e.what();
+        rec.config = point.opts.values();
+        if (dynamic_cast<const faults::DeadlineExceeded*>(&e) != nullptr) {
+          rec.info["failed_phase"] = "run";
+        }
+        if (!manifest_path.empty()) {
+          write_failure_manifest(manifest_path, point, rec.error);
+          rec.manifest_path = manifest_path;
+        }
+      }
+      rec.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      records[i] = std::move(rec);
+    }
+
     const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
     if (config.progress) {
       const std::lock_guard<std::mutex> lock(print_mutex);
+      const char* status =
+          records[i].salvaged ? "salvaged" : records[i].ok ? "ok" : "FAILED";
       std::printf("[%zu/%zu] %s: %s (%.0f ms)\n", done, points.size(),
-                  points[i].label.c_str(), records[i].ok ? "ok" : "FAILED",
-                  records[i].wall_ms);
+                  points[i].label.c_str(), status, records[i].wall_ms);
+      if (config.resume && !records[i].salvaged && !rerun_reason.empty()) {
+        std::printf("    re-run: %s\n", rerun_reason.c_str());
+      }
       std::fflush(stdout);
     }
   });

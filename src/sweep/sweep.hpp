@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,8 +53,8 @@ struct SweepPoint {
 void parallel_for(std::size_t n, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn);
 
-/// Outcome of one sweep point. Everything except `wall_ms` is a pure
-/// function of the point's options.
+/// Outcome of one sweep point. Everything except `wall_ms` and `salvaged`
+/// is a pure function of the point's options.
 struct RunRecord {
   std::size_t index = 0;
   std::string label;
@@ -65,15 +66,34 @@ struct RunRecord {
   double sim_time_us = 0.0;
   double wall_ms = 0.0;                        ///< nondeterministic; not in signatures
   std::string manifest_path;                   ///< "" when no manifest was written
+  /// True when the record was rehydrated from an existing manifest instead
+  /// of re-running the cell. Process-local bookkeeping: excluded from both
+  /// deterministic_signature() and the report JSON, so a resumed sweep's
+  /// report is byte-identical to an uninterrupted run's.
+  bool salvaged = false;
 };
 
 struct SweepConfig {
   std::size_t jobs = 1;
   /// When non-empty, each run writes a pmsb.run_manifest/1 JSON at
-  /// <manifest_dir>/run_<index>.json (the directory must exist).
+  /// <manifest_dir>/<manifest_file_name(index, grid)> (the directory must
+  /// exist). Cells that fail write a stub manifest with info.status=failed
+  /// so a later resume re-runs them instead of salvaging garbage.
   std::string manifest_dir;
+  /// With manifest_dir set: before running a cell, try to rehydrate it from
+  /// an existing manifest (see try_salvage_cell). Valid manifests are
+  /// salvaged; missing, corrupt, config-drifted, or failed ones are re-run.
+  bool resume = false;
+  /// > 0: per-cell wall-clock budget in host seconds, enforced from inside
+  /// each cell's event loop (faults::Deadline). An over-budget cell fails
+  /// alone with a [cell_timeout] diagnostic; the rest of the grid proceeds.
+  double cell_timeout_s = 0.0;
   /// Print one progress line per completed run.
   bool progress = false;
+  /// Called (concurrently, from worker threads) once per cell that actually
+  /// executes — salvaged cells skip it. Tests use it as a run counter to
+  /// assert a resume re-runs only missing/invalid cells.
+  std::function<void(std::size_t index)> on_cell_run;
 };
 
 /// Runs every point (isolated scenario per point; see scenario_run.hpp) and
@@ -82,6 +102,31 @@ struct SweepConfig {
 /// on scenario errors.
 [[nodiscard]] std::vector<RunRecord> run_sweep(const std::vector<SweepPoint>& points,
                                                const SweepConfig& config);
+
+/// Per-cell manifest file name: "run_<index>.json", zero-padded to the
+/// grid's width (min 3 digits, wider for grids >= 1000 cells) so every cell
+/// gets a distinct, equal-length name and lexicographic order equals index
+/// order.
+[[nodiscard]] std::string manifest_file_name(std::size_t index,
+                                             std::size_t grid_size);
+
+/// Result of attempting to salvage one cell from its on-disk manifest.
+struct SalvageOutcome {
+  std::optional<RunRecord> record;  ///< set iff the manifest was valid
+  std::string reason;               ///< why salvage was refused (diagnostic)
+};
+
+/// Validates the manifest at `manifest_path` against the grid point `point`
+/// (whose options must already carry the transforms run_sweep applies:
+/// metrics_json set to the manifest path, colliding per-run outputs erased)
+/// and, when it checks out, rehydrates it into a RunRecord whose
+/// deterministic_signature() matches what re-running the cell would have
+/// produced. Salvage is refused — with the reason — when the file is
+/// missing or unparseable, the schema string is wrong, the manifest is not
+/// from a completed run (info.status != "ok"), it carries no results, or
+/// its config echo drifted from the grid point.
+[[nodiscard]] SalvageOutcome try_salvage_cell(const std::string& manifest_path,
+                                              const SweepPoint& point);
 
 /// Canonical serialization of the reproducible part of a record (label,
 /// config, info, results at full double precision, sim time). Two runs of

@@ -1,0 +1,85 @@
+#include "telemetry/manifest_reader.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/json_reader.hpp"
+
+namespace pmsb::telemetry {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, const std::string& what) {
+  throw std::runtime_error("run manifest " + origin + ": " + what);
+}
+
+std::map<std::string, std::string> string_map(const json::Value& root,
+                                              const char* key,
+                                              const std::string& origin) {
+  std::map<std::string, std::string> out;
+  const json::Value* section = root.find(key);
+  if (section == nullptr) return out;  // tolerated: old writers may omit it
+  if (!section->is_object()) fail(origin, std::string(key) + " is not an object");
+  for (const auto& [k, v] : section->object) {
+    if (!v.is_string()) fail(origin, std::string(key) + "." + k + " is not a string");
+    out[k] = v.string;
+  }
+  return out;
+}
+
+}  // namespace
+
+ManifestData parse_run_manifest(const std::string& text, const std::string& origin) {
+  json::Value root;
+  try {
+    root = json::parse(text);
+  } catch (const json::ParseError& e) {
+    fail(origin, e.what());
+  }
+  if (!root.is_object()) fail(origin, "document is not an object");
+
+  ManifestData out;
+  const json::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    fail(origin, "missing schema string");
+  }
+  out.schema = schema->string;
+  if (const json::Value* tool = root.find("tool"); tool != nullptr && tool->is_string()) {
+    out.tool = tool->string;
+  }
+  if (const json::Value* seed = root.find("seed")) {
+    if (!seed->is_number()) fail(origin, "seed is not a number");
+    out.seed = std::strtoull(seed->raw_number.c_str(), nullptr, 10);
+  }
+  if (const json::Value* v = root.find("wall_clock_s")) {
+    if (!v->is_number()) fail(origin, "wall_clock_s is not a number");
+    out.wall_clock_s = v->number;
+  }
+  if (const json::Value* v = root.find("sim_time_us")) {
+    if (!v->is_number()) fail(origin, "sim_time_us is not a number");
+    out.sim_time_us = v->number;
+  }
+  out.config = string_map(root, "config", origin);
+  out.info = string_map(root, "info", origin);
+  if (const json::Value* results = root.find("results")) {
+    if (!results->is_object()) fail(origin, "results is not an object");
+    for (const auto& [k, v] : results->object) {
+      if (!v.is_number()) fail(origin, "results." + k + " is not a number");
+      out.results[k] = v.number;
+    }
+  }
+  return out;
+}
+
+ManifestData read_run_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) fail(path, "read failed");
+  return parse_run_manifest(buf.str(), path);
+}
+
+}  // namespace pmsb::telemetry

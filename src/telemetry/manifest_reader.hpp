@@ -1,0 +1,42 @@
+// Reader for pmsb.run_manifest/1 documents (see run_report.hpp for the
+// writer and the schema).
+//
+// Resumable sweeps rehydrate completed cells from their per-run manifests
+// instead of re-running them, so the reader recovers exactly the
+// reproducible scalar payload: config echo, info facts, results, seed and
+// simulated time. The metrics array is deliberately not parsed back into
+// instruments — salvage only needs the record-level fields, and a registry
+// cannot be reconstructed without the live components it was bound to.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pmsb::telemetry {
+
+struct ManifestData {
+  std::string schema;
+  std::string tool;
+  std::uint64_t seed = 0;
+  double wall_clock_s = 0.0;
+  double sim_time_us = 0.0;
+  std::map<std::string, std::string> config;
+  std::map<std::string, std::string> info;
+  std::map<std::string, double> results;
+};
+
+/// Parses `text` as a run manifest. `origin` names the source in error
+/// messages (a path, "<string>", ...). Throws std::runtime_error when the
+/// JSON is malformed or the document shape is not a run manifest (no schema
+/// string, non-string config/info entries, non-numeric results). The schema
+/// *value* is returned, not enforced — callers decide which schemas they
+/// accept.
+[[nodiscard]] ManifestData parse_run_manifest(const std::string& text,
+                                              const std::string& origin);
+
+/// Reads and parses the manifest at `path`; throws std::runtime_error on
+/// I/O failure or any parse_run_manifest() error.
+[[nodiscard]] ManifestData read_run_manifest(const std::string& path);
+
+}  // namespace pmsb::telemetry

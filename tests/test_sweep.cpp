@@ -10,6 +10,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "experiments/dumbbell.hpp"
@@ -104,6 +105,121 @@ TEST(ParallelFor, PropagatesFirstException) {
                                      if (i == 5) throw std::runtime_error("boom");
                                    }),
                std::runtime_error);
+}
+
+// A worker that hits an exception records it and keeps draining the index
+// range — one bad cell must not silently skip its siblings.
+TEST(ParallelFor, ThrowDoesNotStopDraining) {
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(sweep::parallel_for(64, 4,
+                                   [&](std::size_t i) {
+                                     ++hits[i];
+                                     if (i == 0) throw std::runtime_error("early");
+                                   }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// Many concurrent throwers: exactly one of the thrown exceptions is
+// rethrown (whichever was recorded first), every index is still attempted,
+// and the pool joins cleanly instead of deadlocking.
+TEST(ParallelFor, ManyConcurrentThrowersPropagateExactlyOne) {
+  std::vector<std::atomic<int>> hits(32);
+  std::string message;
+  try {
+    sweep::parallel_for(32, 8, [&](std::size_t i) {
+      ++hits[i];
+      throw std::runtime_error("thrower-" + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message.rfind("thrower-", 0), 0u) << message;
+  const std::size_t idx =
+      static_cast<std::size_t>(std::stoul(message.substr(std::string("thrower-").size())));
+  EXPECT_LT(idx, 32u);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ThrowerWithFewerItemsThanJobs) {
+  std::atomic<int> calls{0};
+  EXPECT_THROW(sweep::parallel_for(2, 16,
+                                   [&](std::size_t) {
+                                     ++calls;
+                                     throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  EXPECT_EQ(calls.load(), 2);
+}
+
+// jobs=0 and jobs=1 both run inline on the calling thread.
+TEST(ParallelFor, JobsZeroAndOneRunInline) {
+  const auto caller = std::this_thread::get_id();
+  for (std::size_t jobs : {std::size_t{0}, std::size_t{1}}) {
+    std::size_t calls = 0;
+    sweep::parallel_for(5, jobs, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      ++calls;
+    });
+    EXPECT_EQ(calls, 5u) << "jobs=" << jobs;
+  }
+}
+
+// Inline execution propagates immediately: indices after the thrower never
+// run (unlike the pooled path, which drains). Pinned so a change here is a
+// deliberate decision, not an accident.
+TEST(ParallelFor, InlineThrowStopsAtTheThrower) {
+  std::vector<int> hits(4, 0);
+  EXPECT_THROW(sweep::parallel_for(4, 1,
+                                   [&](std::size_t i) {
+                                     ++hits[i];
+                                     if (i == 1) throw std::runtime_error("stop");
+                                   }),
+               std::runtime_error);
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+  EXPECT_EQ(hits[2], 0);
+  EXPECT_EQ(hits[3], 0);
+}
+
+// --- manifest_file_name ------------------------------------------------
+
+TEST(ManifestFileName, PadsToThreeDigitsForSmallGrids) {
+  EXPECT_EQ(sweep::manifest_file_name(0, 16), "run_000.json");
+  EXPECT_EQ(sweep::manifest_file_name(7, 100), "run_007.json");
+  EXPECT_EQ(sweep::manifest_file_name(999, 1000), "run_999.json");
+  // Degenerate grids still produce a sane name.
+  EXPECT_EQ(sweep::manifest_file_name(0, 0), "run_000.json");
+  EXPECT_EQ(sweep::manifest_file_name(0, 1), "run_000.json");
+}
+
+// Regression: the pad width used to be a fixed 3, so a >=1001-cell grid
+// mixed "run_999.json" with "run_1000.json" — distinct but unequal-length
+// names whose lexicographic order no longer matched index order.
+TEST(ManifestFileName, WidensForLargeGrids) {
+  EXPECT_EQ(sweep::manifest_file_name(0, 1001), "run_0000.json");
+  EXPECT_EQ(sweep::manifest_file_name(7, 2000), "run_0007.json");
+  EXPECT_EQ(sweep::manifest_file_name(1234, 2000), "run_1234.json");
+  EXPECT_EQ(sweep::manifest_file_name(0, 100000), "run_00000.json");
+}
+
+TEST(ManifestFileName, LargeGridNamesAreDistinctAndOrdered) {
+  const std::size_t grid = 1200;
+  std::set<std::string> names;
+  std::string prev;
+  for (std::size_t i = 0; i < grid; ++i) {
+    const std::string name = sweep::manifest_file_name(i, grid);
+    EXPECT_EQ(name.size(), sweep::manifest_file_name(0, grid).size());
+    if (i > 0) EXPECT_LT(prev, name) << "index " << i;
+    names.insert(name);
+    prev = name;
+  }
+  EXPECT_EQ(names.size(), grid);  // every cell gets its own file
 }
 
 // --- determinism contract ---------------------------------------------

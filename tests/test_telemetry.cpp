@@ -14,6 +14,8 @@
 #include "experiments/dumbbell.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
+#include "telemetry/json_reader.hpp"
+#include "telemetry/manifest_reader.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
@@ -478,4 +480,104 @@ TEST(DumbbellTelemetry, RegistryMatchesPortStats) {
   EXPECT_GT(reg.value("transport.cwnd_bytes", {{"flow", "0"}}), 0.0);
   // Kernel counters are live.
   EXPECT_GT(reg.value("sim.events_executed"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The real JSON reader (telemetry/json_reader.hpp) — the one salvage and the
+// manifest reader run on, as opposed to the minimal test-local parser above.
+
+TEST(JsonReader, ParsesScalarsContainersAndEscapes) {
+  const auto v = pmsb::telemetry::json::parse(
+      "{\"s\":\"a\\\"b\\\\c\\n\\u0041\",\"t\":true,\"f\":false,\"n\":null,"
+      "\"num\":-1.5e2,\"arr\":[1,2,3],\"obj\":{\"k\":\"v\"}}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("s").string, "a\"b\\c\nA");
+  EXPECT_TRUE(v.at("t").boolean);
+  EXPECT_FALSE(v.at("f").boolean);
+  EXPECT_TRUE(v.at("n").is_null());
+  EXPECT_DOUBLE_EQ(v.at("num").number, -150.0);
+  ASSERT_EQ(v.at("arr").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("arr").array[2].number, 3.0);
+  EXPECT_EQ(v.at("obj").at("k").string, "v");
+}
+
+TEST(JsonReader, PreservesRawNumberForSixtyFourBitSeeds) {
+  // 2^63 + 1 is not representable as a double; the raw token must survive
+  // so seeds round-trip through strtoull.
+  const auto v = pmsb::telemetry::json::parse("{\"seed\":9223372036854775809}");
+  EXPECT_EQ(v.at("seed").raw_number, "9223372036854775809");
+  EXPECT_EQ(std::stoull(v.at("seed").raw_number), 9223372036854775809ull);
+}
+
+TEST(JsonReader, FindIsNullSafeAtThrows) {
+  const auto v = pmsb::telemetry::json::parse("{\"a\":1}");
+  EXPECT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), pmsb::telemetry::json::ParseError);
+  // find on a non-object is a nullptr, not a crash.
+  EXPECT_EQ(v.at("a").find("x"), nullptr);
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  using pmsb::telemetry::json::parse;
+  using pmsb::telemetry::json::ParseError;
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(parse("[1,2,"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("{\"a\":1} trailing"), ParseError);
+  EXPECT_THROW(parse("nul"), ParseError);
+  EXPECT_THROW(parse("1.2.3"), ParseError);
+  // Depth bomb: beyond the recursion cap must throw, not overflow the stack.
+  EXPECT_THROW(parse(std::string(10000, '[')), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest reader: RunManifest::write -> read_run_manifest round trip.
+
+TEST(ManifestReader, RoundTripsWhatRunManifestWrites) {
+  RunManifest m("roundtrip-test");
+  m.set_seed(9223372036854775809ull);  // > 2^53: exercises the raw path
+  m.set_config({{"topology", "leafspine"}, {"load", "0.5"}});
+  m.set_info("status", "ok");
+  m.set_result("fct_us.mean", 123.456789012345678);
+  m.set_result("throughput", 9.87e9);
+  m.set_sim_time_us(2500.25);
+  const std::string path = std::string(::testing::TempDir()) + "/manifest_rt.json";
+  m.write(path, nullptr);
+
+  const auto data = pmsb::telemetry::read_run_manifest(path);
+  EXPECT_EQ(data.schema, "pmsb.run_manifest/1");
+  EXPECT_EQ(data.tool, "roundtrip-test");
+  EXPECT_EQ(data.seed, 9223372036854775809ull);
+  EXPECT_EQ(data.config.at("topology"), "leafspine");
+  EXPECT_EQ(data.config.at("load"), "0.5");
+  EXPECT_EQ(data.info.at("status"), "ok");
+  // %.17g output parses back bit-exact.
+  EXPECT_EQ(data.results.at("fct_us.mean"), 123.456789012345678);
+  EXPECT_EQ(data.results.at("throughput"), 9.87e9);
+  EXPECT_EQ(data.sim_time_us, 2500.25);
+  EXPECT_GE(data.wall_clock_s, 0.0);
+}
+
+TEST(ManifestReader, RejectsMissingFileAndBadShapes) {
+  using pmsb::telemetry::parse_run_manifest;
+  EXPECT_THROW(pmsb::telemetry::read_run_manifest("/nonexistent/manifest.json"),
+               std::runtime_error);
+  // Top level must be an object with a string schema.
+  EXPECT_THROW(parse_run_manifest("[1,2,3]", "t"), std::runtime_error);
+  EXPECT_THROW(parse_run_manifest("{\"schema\":42}", "t"), std::runtime_error);
+  EXPECT_THROW(parse_run_manifest("{}", "t"), std::runtime_error);
+  // Results must be numeric.
+  EXPECT_THROW(
+      parse_run_manifest(
+          "{\"schema\":\"pmsb.run_manifest/1\",\"results\":{\"x\":\"nope\"}}", "t"),
+      std::runtime_error);
+  // Missing sections are tolerated — a minimal manifest parses.
+  const auto minimal =
+      parse_run_manifest("{\"schema\":\"pmsb.run_manifest/1\"}", "t");
+  EXPECT_EQ(minimal.schema, "pmsb.run_manifest/1");
+  EXPECT_TRUE(minimal.config.empty());
+  EXPECT_TRUE(minimal.results.empty());
 }

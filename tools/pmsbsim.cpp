@@ -34,8 +34,17 @@
 //   sweep_json         path: aggregated pmsb.sweep_report/1 JSON
 //   sweep_csv          path: one CSV row per run (union of result keys)
 //   sweep_manifest_dir existing dir: per-run pmsb.run_manifest/1 files
-//                      (run_000.json, ...). timeseries_csv / fct_csv are
-//                      ignored inside sweeps (the paths would collide).
+//                      (run_000.json, ..., padded to the grid's width).
+//                      timeseries_csv / fct_csv are ignored inside sweeps
+//                      (the paths would collide).
+//   sweep_resume       1: salvage cells whose manifest in sweep_manifest_dir
+//                      already holds a completed, config-matching run; only
+//                      missing / corrupt / drifted / failed cells re-run.
+//                      The final report is identical to an uninterrupted run.
+//   cell_timeout_s     > 0: per-cell wall-clock budget, enforced from inside
+//                      each cell's event loop. An over-budget cell fails
+//                      alone with a [cell_timeout] diagnostic; the rest of
+//                      the grid proceeds.
 // Robustness keys (see docs/ROBUSTNESS.md):
 //   faults             fault timeline, clauses joined by ';':
 //                      link:A-B:down@T1..T2 | loss:A->B:P | delay:A->B:D[+J]
@@ -77,13 +86,21 @@ int run_sweep_cli(const Options& opts) {
   sweep::SweepConfig cfg;
   cfg.jobs = static_cast<std::size_t>(opts.get_int("jobs", 1));
   cfg.manifest_dir = opts.get("sweep_manifest_dir");
+  cfg.resume = opts.get_bool("sweep_resume", false);
+  cfg.cell_timeout_s = opts.get_double("cell_timeout_s", 0.0);
   cfg.progress = true;
+  if (cfg.resume && cfg.manifest_dir.empty()) {
+    throw std::invalid_argument(
+        "sweep_resume=1 requires sweep_manifest_dir= (there is nothing to "
+        "salvage from)");
+  }
 
   // The base config every point starts from: everything except the keys
   // that steer the sweep itself.
   Options base = opts;
   for (const char* key : {"sweep", "jobs", "sweep_json", "sweep_csv",
-                          "sweep_manifest_dir"}) {
+                          "sweep_manifest_dir", "sweep_resume",
+                          "cell_timeout_s"}) {
     base.erase(key);
   }
   const auto points = sweep::expand_grid(base, spec);
@@ -95,15 +112,20 @@ int run_sweep_cli(const Options& opts) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   std::size_t failed = 0;
+  std::size_t salvaged = 0;
   for (const auto& r : records) {
+    if (r.salvaged) ++salvaged;
     if (!r.ok) {
       ++failed;
       std::fprintf(stderr, "FAILED [%zu] %s: %s\n", r.index, r.label.c_str(),
                    r.error.c_str());
     }
   }
-  std::printf("sweep done: %zu/%zu ok in %.2f s\n", records.size() - failed,
+  std::printf("sweep done: %zu/%zu ok in %.2f s", records.size() - failed,
               records.size(), wall_s);
+  if (cfg.resume) std::printf(" (%zu salvaged, %zu re-run)", salvaged,
+                              records.size() - salvaged);
+  std::printf("\n");
 
   if (opts.has("sweep_json")) {
     sweep::write_text_file(opts.get("sweep_json"),
