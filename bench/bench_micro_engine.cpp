@@ -1,8 +1,20 @@
 // Microbenchmarks for the simulation substrate: event-queue throughput and
 // scheduler enqueue/dequeue cost — the knobs that bound how large a paper
 // reproduction run can be.
-#include <benchmark/benchmark.h>
+//
+// Timing is hand-rolled (warmup + timed reps, median/MAD) rather than a
+// benchmark framework so the numbers land in the same pmsb.bench/1 JSON the
+// regression plane trends: set PMSB_BENCH_JSON=BENCH_engine.json to get the
+// machine-readable report next to the printed table.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
+#include "regress/bench_json.hpp"
 #include "sched/dwrr.hpp"
 #include "sched/wfq.hpp"
 #include "sim/simulator.hpp"
@@ -11,36 +23,52 @@ using namespace pmsb;
 
 namespace {
 
-void BM_EventScheduleAndRun(benchmark::State& state) {
-  const std::int64_t batch = state.range(0);
-  for (auto _ : state) {
-    sim::Simulator sim;
-    std::int64_t fired = 0;
-    for (std::int64_t i = 0; i < batch; ++i) {
-      sim.schedule_at((i * 7919) % 100000, [&fired] { ++fired; });
-    }
-    sim.run();
-    benchmark::DoNotOptimize(fired);
+/// Runs `fn` (one rep = `events` work units) warmup + reps times and returns
+/// the timed sample as a BenchRecord, printing one table row.
+regress::BenchRecord time_bench(const std::string& name, std::uint64_t events,
+                                const std::function<void()>& fn) {
+  const int warmup = 1;
+  const int reps = bench::full_scale() ? 9 : 5;
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> wall;
+  wall.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    wall.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
   }
-  state.SetItemsProcessed(state.iterations() * batch);
+  const auto rec = regress::make_bench_record(name, wall, events);
+  std::printf("  %-28s %9.3f ms median  %11.4g ev/s (mad %.2g, %d reps)\n",
+              name.c_str(), rec.wall_s_median * 1e3, rec.events_per_s_median,
+              rec.events_per_s_mad, rec.reps);
+  return rec;
 }
-BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(100000);
 
-void BM_EventCascade(benchmark::State& state) {
-  // Self-rescheduling chain — the transport timer pattern.
-  for (auto _ : state) {
-    sim::Simulator sim;
-    std::int64_t depth = 0;
-    std::function<void()> chain = [&] {
-      if (++depth < 10000) sim.schedule_in(1, chain);
-    };
-    sim.schedule_at(0, chain);
-    sim.run();
-    benchmark::DoNotOptimize(depth);
+volatile std::uint64_t g_sink = 0;  // keeps the measured loops observable
+
+void event_schedule_and_run(std::int64_t batch) {
+  sim::Simulator sim;
+  std::int64_t fired = 0;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    sim.schedule_at((i * 7919) % 100000, [&fired] { ++fired; });
   }
-  state.SetItemsProcessed(state.iterations() * 10000);
+  sim.run();
+  g_sink = static_cast<std::uint64_t>(fired);
 }
-BENCHMARK(BM_EventCascade);
+
+void event_cascade(std::int64_t depth_target) {
+  // Self-rescheduling chain — the transport timer pattern.
+  sim::Simulator sim;
+  std::int64_t depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < depth_target) sim.schedule_in(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  g_sink = static_cast<std::uint64_t>(depth);
+}
 
 sched::Packet make_pkt() {
   sched::Packet p;
@@ -48,37 +76,52 @@ sched::Packet make_pkt() {
   return p;
 }
 
-void BM_DwrrEnqueueDequeue(benchmark::State& state) {
-  sched::DwrrScheduler s(8, std::vector<double>(8, 1.0));
+template <typename Scheduler>
+void scheduler_churn(std::int64_t ops) {
+  Scheduler s(8, std::vector<double>(8, 1.0));
   // Pre-fill so the scheduler stays busy.
   for (int q = 0; q < 8; ++q) {
-    for (int i = 0; i < 16; ++i) s.enqueue(q, make_pkt());
+    for (int i = 0; i < 16; ++i) s.enqueue(static_cast<std::size_t>(q), make_pkt());
   }
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    auto out = s.dequeue(static_cast<sim::TimeNs>(i++));
+  std::uint64_t touched = 0;
+  for (std::int64_t i = 0; i < ops; ++i) {
+    auto out = s.dequeue(static_cast<sim::TimeNs>(i));
+    touched += out->queue;
     s.enqueue(out->queue, make_pkt());
-    benchmark::DoNotOptimize(out);
   }
-  state.SetItemsProcessed(state.iterations());
+  g_sink = touched;
 }
-BENCHMARK(BM_DwrrEnqueueDequeue);
-
-void BM_WfqEnqueueDequeue(benchmark::State& state) {
-  sched::WfqScheduler s(8, std::vector<double>(8, 1.0));
-  for (int q = 0; q < 8; ++q) {
-    for (int i = 0; i < 16; ++i) s.enqueue(q, make_pkt());
-  }
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    auto out = s.dequeue(static_cast<sim::TimeNs>(i++));
-    s.enqueue(out->queue, make_pkt());
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_WfqEnqueueDequeue);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::print_header(
+      "Engine microbenchmarks — event queue and scheduler hot paths",
+      "isolated simulator / scheduler loops, no network model",
+      "throughput here bounds the reachable scale of every figure bench");
+
+  const std::int64_t cascade_depth = 10000;
+  const std::int64_t sched_ops =
+      static_cast<std::int64_t>(bench::scaled(200000, 2000000));
+
+  regress::BenchReport report;
+  report.tool = "bench_micro_engine";
+  report.scale = bench::full_scale() ? "full" : "quick";
+  report.benchmarks.push_back(time_bench("event_schedule_and_run/1e3", 1000,
+                                         [] { event_schedule_and_run(1000); }));
+  report.benchmarks.push_back(
+      time_bench("event_schedule_and_run/1e5", 100000,
+                 [] { event_schedule_and_run(100000); }));
+  report.benchmarks.push_back(
+      time_bench("event_cascade/10k", static_cast<std::uint64_t>(cascade_depth),
+                 [&] { event_cascade(cascade_depth); }));
+  report.benchmarks.push_back(
+      time_bench("dwrr_enqueue_dequeue", static_cast<std::uint64_t>(sched_ops),
+                 [&] { scheduler_churn<sched::DwrrScheduler>(sched_ops); }));
+  report.benchmarks.push_back(
+      time_bench("wfq_enqueue_dequeue", static_cast<std::uint64_t>(sched_ops),
+                 [&] { scheduler_churn<sched::WfqScheduler>(sched_ops); }));
+
+  regress::maybe_write_bench_json(report);
+  return 0;
+}

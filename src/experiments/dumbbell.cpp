@@ -103,6 +103,55 @@ void DumbbellScenario::add_sampler_columns(telemetry::TimeSeriesSampler& sampler
   });
 }
 
+void DumbbellScenario::install_digest(regress::RunDigest& digest) {
+  digest_ = &digest;
+  digest_port_ = digest.register_entity("port/bottleneck");
+  switch_->port(bottleneck_port_).set_digest(&digest, digest_port_);
+  digest_link_ = digest.register_entity("link/switch->receiver");
+  switch_->port(bottleneck_port_).link()->set_digest(&digest, digest_link_);
+  digest_flows_.clear();
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto id = digest.register_entity("flow/" + std::to_string(i));
+    digest_flows_.push_back(id);
+    flows_[i]->sender().set_digest(&digest, id);
+  }
+}
+
+void DumbbellScenario::finalize_digest() {
+  if (digest_ == nullptr) return;
+  regress::RunDigest& d = *digest_;
+  const switchlib::PortStats& ps = switch_->port(bottleneck_port_).stats();
+  d.stat(digest_port_, "enqueued_packets", ps.enqueued_packets);
+  d.stat(digest_port_, "dequeued_packets", ps.dequeued_packets);
+  d.stat(digest_port_, "dropped_packets", ps.dropped_packets);
+  d.stat(digest_port_, "dropped_bytes", ps.dropped_bytes);
+  d.stat(digest_port_, "marked_enqueue", ps.marked_enqueue);
+  d.stat(digest_port_, "marked_dequeue", ps.marked_dequeue);
+  for (std::size_t q = 0; q < ps.marked_per_queue.size(); ++q) {
+    d.stat(digest_port_, "marked.q" + std::to_string(q), ps.marked_per_queue[q]);
+  }
+  const net::Link* link = switch_->port(bottleneck_port_).link();
+  d.stat(digest_link_, "bytes_sent", link->bytes_sent());
+  d.stat(digest_link_, "packets_sent", link->packets_sent());
+  d.stat(digest_link_, "packets_delivered", link->packets_delivered());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const transport::DctcpSender& s = flows_[i]->sender();
+    const regress::EntityId id = digest_flows_.at(i);
+    const transport::SenderStats& st = s.stats();
+    d.stat(id, "segments_sent", st.segments_sent);
+    d.stat(id, "retransmits", st.retransmits);
+    d.stat(id, "timeouts", st.timeouts);
+    d.stat(id, "acks_received", st.acks_received);
+    d.stat(id, "ece_acks", st.ece_acks);
+    d.stat(id, "ece_ignored", st.ece_ignored);
+    d.stat(id, "window_cuts", st.window_cuts);
+    d.stat(id, "bytes_acked", s.bytes_acked());
+    d.stat(id, "complete", s.complete() ? 1 : 0);
+    d.stat(id, "completion_time",
+           static_cast<std::uint64_t>(s.complete() ? s.completion_time() : 0));
+  }
+}
+
 void DumbbellScenario::install_faults(faults::FaultPlan& plan, std::uint64_t seed) {
   plan.install(sim_, link_refs_, seed);
   plan_ = &plan;

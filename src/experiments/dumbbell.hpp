@@ -18,6 +18,7 @@
 #include "faults/standard_checks.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
+#include "regress/digest.hpp"
 #include "sched/factory.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
@@ -110,6 +111,15 @@ class DumbbellScenario {
   /// stall, which is what the watchdog wants for a duration-based run.
   [[nodiscard]] bool all_complete() const;
 
+  // --- Regression plane ---
+  /// Wires the bottleneck port, its link, and every flow's sender into
+  /// `digest` (entities "port/bottleneck", "link/switch->receiver",
+  /// "flow/<idx>"). Call after add_flow(); the digest must outlive the
+  /// scenario. finalize_digest() folds the final per-entity stats — call it
+  /// once, after the run.
+  void install_digest(regress::RunDigest& digest);
+  void finalize_digest();
+
   /// The un-loaded round-trip time sender -> receiver -> sender.
   [[nodiscard]] sim::TimeNs base_rtt() const;
 
@@ -128,6 +138,10 @@ class DumbbellScenario {
   std::vector<std::unique_ptr<transport::Flow>> flows_;
   std::size_t bottleneck_port_ = 0;
   net::FlowId next_flow_id_ = 1;
+  regress::RunDigest* digest_ = nullptr;
+  regress::EntityId digest_port_ = 0;
+  regress::EntityId digest_link_ = 0;
+  std::vector<regress::EntityId> digest_flows_;
 };
 
 }  // namespace pmsb::experiments

@@ -179,6 +179,55 @@ std::uint64_t LeafSpineScenario::total_drops() const {
   return drops;
 }
 
+void LeafSpineScenario::install_digest(regress::RunDigest& digest) {
+  digest_ = &digest;
+  digest_ports_.clear();
+  auto wire_switch = [this, &digest](switchlib::Switch& sw) {
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      const auto id =
+          digest.register_entity("port/" + sw.name() + "/" + std::to_string(p));
+      sw.port(p).set_digest(&digest, id);
+      digest_ports_.emplace_back(&sw.port(p), id);
+    }
+  };
+  for (auto& l : leaves_) wire_switch(*l);
+  for (auto& s : spines_) wire_switch(*s);
+  digest_flows_.clear();
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto id = digest.register_entity("flow/" + std::to_string(i));
+    digest_flows_.push_back(id);
+    flows_[i]->sender().set_digest(&digest, id);
+  }
+}
+
+void LeafSpineScenario::finalize_digest() {
+  if (digest_ == nullptr) return;
+  regress::RunDigest& d = *digest_;
+  for (const auto& [port, id] : digest_ports_) {
+    const switchlib::PortStats& ps = port->stats();
+    d.stat(id, "enqueued_packets", ps.enqueued_packets);
+    d.stat(id, "dequeued_packets", ps.dequeued_packets);
+    d.stat(id, "dropped_packets", ps.dropped_packets);
+    d.stat(id, "marked_enqueue", ps.marked_enqueue);
+    d.stat(id, "marked_dequeue", ps.marked_dequeue);
+  }
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const transport::DctcpSender& s = flows_[i]->sender();
+    const regress::EntityId id = digest_flows_.at(i);
+    const transport::SenderStats& st = s.stats();
+    d.stat(id, "segments_sent", st.segments_sent);
+    d.stat(id, "retransmits", st.retransmits);
+    d.stat(id, "timeouts", st.timeouts);
+    d.stat(id, "acks_received", st.acks_received);
+    d.stat(id, "ece_acks", st.ece_acks);
+    d.stat(id, "ece_ignored", st.ece_ignored);
+    d.stat(id, "bytes_acked", s.bytes_acked());
+    d.stat(id, "complete", s.complete() ? 1 : 0);
+    d.stat(id, "completion_time",
+           static_cast<std::uint64_t>(s.complete() ? s.completion_time() : 0));
+  }
+}
+
 void LeafSpineScenario::install_faults(faults::FaultPlan& plan, std::uint64_t seed) {
   plan.install(sim_, link_refs_, seed);
   plan_ = &plan;

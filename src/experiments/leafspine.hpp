@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "ecn/factory.hpp"
@@ -17,6 +18,7 @@
 #include "faults/standard_checks.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
+#include "regress/digest.hpp"
 #include "sched/factory.hpp"
 #include "sim/simulator.hpp"
 #include "stats/fct.hpp"
@@ -104,6 +106,14 @@ class LeafSpineScenario {
   /// Aggregate drop count across every switch port.
   [[nodiscard]] std::uint64_t total_drops() const;
 
+  // --- Regression plane ---
+  /// Wires every switch port ("port/<switch>/<idx>") and every flow's
+  /// sender ("flow/<idx>") into `digest`. Call after add_workload(); the
+  /// digest must outlive the scenario. finalize_digest() folds the final
+  /// per-entity stats — call once, after the run.
+  void install_digest(regress::RunDigest& digest);
+  void finalize_digest();
+
   /// The un-loaded RTT between two hosts under different leaves.
   [[nodiscard]] sim::TimeNs base_rtt_interrack() const;
 
@@ -125,6 +135,9 @@ class LeafSpineScenario {
   stats::FctCollector fct_;
   std::size_t completed_ = 0;
   net::FlowId next_flow_id_ = 1;
+  regress::RunDigest* digest_ = nullptr;
+  std::vector<std::pair<switchlib::Port*, regress::EntityId>> digest_ports_;
+  std::vector<regress::EntityId> digest_flows_;
 };
 
 }  // namespace pmsb::experiments

@@ -11,6 +11,12 @@ TimeNs Link::transmit(Packet pkt) {
   busy_until_ = tx_done;
   bytes_sent_ += pkt.size_bytes;
   ++packets_sent_;
+  if (digest_ != nullptr) {
+    digest_->event(digest_entity_, regress::EventKind::kSend,
+                   static_cast<std::int64_t>(sim_.now()), pkt.id,
+                   pkt.size_bytes | (static_cast<std::uint64_t>(pkt.ce) << 32) |
+                       (static_cast<std::uint64_t>(pkt.ect) << 33));
+  }
   sim_.schedule_at(tx_done + delay_,
                    [this, p = std::move(pkt)]() mutable { deliver(std::move(p)); });
   return tx_done;

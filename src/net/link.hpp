@@ -11,6 +11,7 @@
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "regress/digest.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
 
@@ -35,6 +36,13 @@ class Link {
   /// (delivery resolves dst_ at arrival time).
   void set_destination(Node* destination) { dst_ = destination; }
 
+  /// Feeds a kSend digest event per transmitted packet as `entity` (nullptr
+  /// to detach). The digest must outlive the link.
+  void set_digest(regress::RunDigest* digest, regress::EntityId entity) {
+    digest_ = digest;
+    digest_entity_ = entity;
+  }
+
   [[nodiscard]] bool busy() const { return sim_.now() < busy_until_; }
   [[nodiscard]] sim::RateBps rate() const { return rate_; }
   [[nodiscard]] TimeNs propagation_delay() const { return delay_; }
@@ -55,6 +63,8 @@ class Link {
   sim::RateBps rate_;
   TimeNs delay_;
   Node* dst_;
+  regress::RunDigest* digest_ = nullptr;
+  regress::EntityId digest_entity_ = 0;
   TimeNs busy_until_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;

@@ -1,0 +1,70 @@
+#include "regress/bench_json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "regress/bench_runner.hpp"
+#include "telemetry/process_stats.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace pmsb::regress {
+
+BenchRecord make_bench_record(const std::string& name,
+                              const std::vector<double>& wall_s,
+                              std::uint64_t events) {
+  BenchRecord r;
+  r.name = name;
+  r.reps = static_cast<int>(wall_s.size());
+  r.wall_s_median = median(wall_s);
+  r.wall_s_mad = mad(wall_s, r.wall_s_median);
+  r.events = events;
+  std::vector<double> eps;
+  eps.reserve(wall_s.size());
+  for (const double w : wall_s) {
+    eps.push_back(w > 0.0 ? static_cast<double>(events) / w : 0.0);
+  }
+  r.events_per_s_median = median(eps);
+  r.events_per_s_mad = mad(eps, r.events_per_s_median);
+  return r;
+}
+
+std::string bench_report_json(const BenchReport& report) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmsb.bench/1");
+  w.key("tool").value(report.tool);
+  w.key("git").value(telemetry::build_git_describe());
+  w.key("scale").value(report.scale);
+  w.key("peak_rss_bytes")
+      .value(static_cast<double>(telemetry::peak_rss_bytes()));
+  w.key("benchmarks").begin_array();
+  for (const BenchRecord& b : report.benchmarks) {
+    w.begin_object();
+    w.key("name").value(b.name);
+    w.key("reps").value(static_cast<std::int64_t>(b.reps));
+    w.key("wall_s_median").value(b.wall_s_median);
+    w.key("wall_s_mad").value(b.wall_s_mad);
+    w.key("events").value(b.events);
+    w.key("events_per_s_median").value(b.events_per_s_median);
+    w.key("events_per_s_mad").value(b.events_per_s_mad);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool maybe_write_bench_json(const BenchReport& report) {
+  const char* path = std::getenv("PMSB_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return false;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error(std::string("cannot open ") + path);
+  out << bench_report_json(report) << '\n';
+  if (!out.good()) throw std::runtime_error(std::string("write failed: ") + path);
+  std::printf("wrote %s (%zu benchmarks)\n", path, report.benchmarks.size());
+  return true;
+}
+
+}  // namespace pmsb::regress

@@ -1,0 +1,52 @@
+// Machine-readable bench reports, schema `pmsb.bench/1`.
+//
+// Both hand-rolled benches (bench_micro_engine, the Fig.16-21 FCT grid) and
+// the regression plane emit this shape, so CI can upload one artifact format
+// (`BENCH_engine.json`, `BENCH_fct_grid.json`) and trend it across PRs:
+//
+//   {
+//     "schema": "pmsb.bench/1", "tool": "...", "git": "...", "scale": "...",
+//     "peak_rss_bytes": R,
+//     "benchmarks": [
+//       {"name": "...", "reps": M, "wall_s_median": W, "wall_s_mad": D,
+//        "events": N, "events_per_s_median": E, "events_per_s_mad": F}
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmsb::regress {
+
+struct BenchRecord {
+  std::string name;
+  int reps = 0;
+  double wall_s_median = 0.0;
+  double wall_s_mad = 0.0;
+  std::uint64_t events = 0;  ///< work units of ONE rep (kernel events, flows, ...)
+  double events_per_s_median = 0.0;
+  double events_per_s_mad = 0.0;
+};
+
+struct BenchReport {
+  std::string tool;
+  std::string scale;  ///< "full" | "quick" (PMSB_BENCH_SCALE)
+  std::vector<BenchRecord> benchmarks;
+};
+
+/// Builds a BenchRecord from per-rep wall-clock samples of a workload that
+/// executes `events` units per rep.
+[[nodiscard]] BenchRecord make_bench_record(const std::string& name,
+                                            const std::vector<double>& wall_s,
+                                            std::uint64_t events);
+
+[[nodiscard]] std::string bench_report_json(const BenchReport& report);
+
+/// When the PMSB_BENCH_JSON environment variable names a path, writes
+/// bench_report_json() there and returns true. Returns false (and does
+/// nothing) when the variable is unset or empty.
+bool maybe_write_bench_json(const BenchReport& report);
+
+}  // namespace pmsb::regress

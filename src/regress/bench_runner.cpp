@@ -1,0 +1,106 @@
+#include "regress/bench_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "regress/baseline.hpp"
+#include "sweep/scenario_run.hpp"
+#include "telemetry/process_stats.hpp"
+
+namespace pmsb::regress {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double mad(const std::vector<double>& v, double med) {
+  if (v.empty()) return 0.0;
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (const double x : v) dev.push_back(std::fabs(x - med));
+  return median(std::move(dev));
+}
+
+void Measurement::finalize() {
+  wall_s_median = median(wall_s);
+  wall_s_mad = mad(wall_s, wall_s_median);
+  events_per_s_median = median(events_per_s);
+  events_per_s_mad = mad(events_per_s, events_per_s_median);
+}
+
+CellPerf Measurement::to_cell_perf() const {
+  CellPerf p;
+  p.wall_s_median = wall_s_median;
+  p.wall_s_mad = wall_s_mad;
+  p.events_per_s_median = events_per_s_median;
+  p.events_per_s_mad = events_per_s_mad;
+  p.peak_rss_bytes = peak_rss_bytes;
+  p.events = events;
+  p.reps = static_cast<int>(wall_s.size());
+  return p;
+}
+
+Measurement measure_scenario(const experiments::Options& opts,
+                             const BenchConfig& config) {
+  sweep::SweepPoint point;
+  point.opts = opts;
+
+  Measurement m;
+  const int total = std::max(0, config.warmup) + std::max(1, config.reps);
+  for (int rep = 0; rep < total; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sweep::RunRecord rec = sweep::run_scenario(point, /*quiet=*/true);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!rec.ok) {
+      // run_scenario throws on scenario errors; ok=false here would mean a
+      // contract change upstream — surface it loudly.
+      throw std::runtime_error("measure_scenario: run not ok: " + rec.error);
+    }
+    if (rep < std::max(0, config.warmup)) continue;
+    const double wall =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+    std::uint64_t events = 0;
+    const auto it = rec.results.find("sim.events_executed");
+    if (it != rec.results.end()) events = static_cast<std::uint64_t>(it->second);
+    m.events = events;
+    m.wall_s.push_back(wall);
+    m.events_per_s.push_back(wall > 0.0 ? static_cast<double>(events) / wall : 0.0);
+  }
+  m.peak_rss_bytes = static_cast<double>(telemetry::peak_rss_bytes());
+  m.finalize();
+  return m;
+}
+
+PerfVerdict compare_perf(const CellPerf& base, const Measurement& cur,
+                         double rel_tolerance, double mad_multiplier) {
+  PerfVerdict v;
+  if (base.reps == 0) {
+    v.detail = "baseline has no perf sample; comparison skipped";
+    return v;
+  }
+  const double base_eps = base.events_per_s_median;
+  const double cur_eps = cur.events_per_s_median;
+  v.ratio = base_eps > 0.0 ? cur_eps / base_eps : 1.0;
+  const double allowance = std::max(rel_tolerance * base_eps,
+                                    mad_multiplier * (base.events_per_s_mad +
+                                                      cur.events_per_s_mad));
+  const double shortfall = base_eps - cur_eps;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "events/s %.3g -> %.3g (ratio %.3f, allowance %.3g)", base_eps,
+                cur_eps, v.ratio, allowance);
+  v.detail = buf;
+  if (shortfall > allowance) {
+    v.ok = false;
+    v.detail += " — REGRESSION beyond tolerance";
+  }
+  return v;
+}
+
+}  // namespace pmsb::regress

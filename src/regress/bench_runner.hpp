@@ -1,0 +1,71 @@
+// Noise-aware perf measurement for the regression plane.
+//
+// measure_scenario() runs one cell N warmup + M timed repetitions (digest
+// OFF, so the hash cost never pollutes the throughput sample) and reports
+// median + MAD of wall-clock and events/sec. compare_perf() applies a
+// tolerance that widens with the observed noise on BOTH sides: a regression
+// is flagged only when the current median falls below the baseline median by
+// more than max(rel_tolerance * base_median, mad_multiplier * (base_mad +
+// cur_mad)). Median/MAD instead of mean/stddev because CI machines produce
+// heavy-tailed timing outliers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmsb::experiments {
+class Options;
+}
+
+namespace pmsb::regress {
+
+struct CellPerf;
+
+/// Median of `v` (by copy; v may be unsorted). 0 for empty input.
+[[nodiscard]] double median(std::vector<double> v);
+
+/// Median absolute deviation from `med`. 0 for empty input.
+[[nodiscard]] double mad(const std::vector<double>& v, double med);
+
+struct BenchConfig {
+  int warmup = 1;
+  int reps = 3;
+};
+
+/// Raw + derived perf sample of one cell.
+struct Measurement {
+  std::vector<double> wall_s;        ///< one entry per timed rep
+  std::vector<double> events_per_s;  ///< one entry per timed rep
+  std::uint64_t events = 0;          ///< kernel events of one run
+  double wall_s_median = 0.0;
+  double wall_s_mad = 0.0;
+  double events_per_s_median = 0.0;
+  double events_per_s_mad = 0.0;
+  double peak_rss_bytes = 0.0;
+
+  /// Computes the medians/MADs from the raw rep vectors.
+  void finalize();
+  /// The CellPerf record this measurement pins in a baseline.
+  [[nodiscard]] CellPerf to_cell_perf() const;
+};
+
+/// Runs the scenario `opts` describes (via sweep::run_scenario, quiet)
+/// config.warmup + config.reps times and returns the timed sample. Throws
+/// whatever the scenario throws.
+[[nodiscard]] Measurement measure_scenario(const experiments::Options& opts,
+                                           const BenchConfig& config);
+
+struct PerfVerdict {
+  bool ok = true;
+  double ratio = 1.0;   ///< current events/s median over baseline median
+  std::string detail;   ///< human-readable explanation either way
+};
+
+/// Compares current against baseline events/sec. `rel_tolerance` is the
+/// fractional slowdown always allowed; `mad_multiplier` scales the combined
+/// noise allowance. A baseline with reps == 0 compares ok (perf not pinned).
+[[nodiscard]] PerfVerdict compare_perf(const CellPerf& base, const Measurement& cur,
+                                       double rel_tolerance, double mad_multiplier);
+
+}  // namespace pmsb::regress

@@ -1,0 +1,137 @@
+#include "regress/digest.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace pmsb::regress {
+
+namespace {
+
+// FNV 128-bit prime: 2^88 + 2^8 + 0x3b.
+constexpr std::uint64_t kPrimeHi = 0x0000000001000000ull;
+constexpr std::uint64_t kPrimeLo = 0x000000000000013bull;
+
+/// 64x64 -> high 64 bits, via 32-bit halves (portable).
+std::uint64_t mul_hi64(std::uint64_t x, std::uint64_t y) {
+  const std::uint64_t a = x >> 32, b = x & 0xffffffffull;
+  const std::uint64_t c = y >> 32, d = y & 0xffffffffull;
+  const std::uint64_t bd = b * d;
+  const std::uint64_t ad = a * d;
+  const std::uint64_t bc = b * c;
+  const std::uint64_t mid = (bd >> 32) + (ad & 0xffffffffull) + (bc & 0xffffffffull);
+  return a * c + (ad >> 32) + (bc >> 32) + (mid >> 32);
+}
+
+}  // namespace
+
+void Hash128::multiply_prime() {
+  // (hi:lo) * (kPrimeHi:kPrimeLo) mod 2^128:
+  //   low limb  = lo * kPrimeLo
+  //   high limb = hi * kPrimeLo + lo * kPrimeHi + carry(lo * kPrimeLo)
+  const std::uint64_t new_hi =
+      hi_ * kPrimeLo + lo_ * kPrimeHi + mul_hi64(lo_, kPrimeLo);
+  lo_ = lo_ * kPrimeLo;
+  hi_ = new_hi;
+}
+
+void Hash128::update_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) update_byte(p[i]);
+}
+
+std::string Hash128::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi_),
+                static_cast<unsigned long long>(lo_));
+  return buf;
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x00000100000001b3ull;
+  }
+  return h;
+}
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEnqueue: return "enqueue";
+    case EventKind::kDequeue: return "dequeue";
+    case EventKind::kMark: return "mark";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kSend: return "send";
+    case EventKind::kAck: return "ack";
+    case EventKind::kStat: return "stat";
+  }
+  return "?";
+}
+
+RunDigest::RunDigest(std::uint64_t checkpoint_interval)
+    : interval_(checkpoint_interval == 0 ? kDefaultInterval : checkpoint_interval) {}
+
+EntityId RunDigest::register_entity(const std::string& name) {
+  for (const Entity& e : entities_) {
+    if (e.name == name) {
+      throw std::invalid_argument("RunDigest: duplicate entity '" + name + "'");
+    }
+  }
+  entities_.push_back({name, Hash128{}});
+  return static_cast<EntityId>(entities_.size() - 1);
+}
+
+void RunDigest::stat_f(EntityId entity, const std::string& key, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  event(entity, EventKind::kStat, 0, fnv1a64(key), bits);
+}
+
+void RunDigest::arm_journal(std::uint64_t lo, std::uint64_t hi, std::size_t cap) {
+  journal_lo_ = lo;
+  journal_hi_ = hi;
+  journal_cap_ = cap;
+  journal_.clear();
+}
+
+void RunDigest::take_checkpoint() {
+  checkpoints_.push_back({count_, stream_});
+  // Compaction keeps memory bounded on arbitrarily long runs while staying a
+  // pure function of the event stream: once full, drop every other entry and
+  // double the interval — surviving indices are exactly the multiples of the
+  // new interval.
+  constexpr std::size_t kMaxCheckpoints = 4096;
+  if (checkpoints_.size() >= kMaxCheckpoints) {
+    std::vector<Checkpoint> kept;
+    kept.reserve(checkpoints_.size() / 2 + 1);
+    for (std::size_t i = 1; i < checkpoints_.size(); i += 2) {
+      kept.push_back(checkpoints_[i]);
+    }
+    checkpoints_ = std::move(kept);
+    interval_ *= 2;
+  }
+}
+
+Hash128 RunDigest::total() const {
+  Hash128 t = stream_;
+  t.update_u64(count_);
+  // Sub-digests fold in name order, so two runs that registered entities in
+  // different orders (but produced the same per-entity streams) still agree.
+  const auto subs = sub_digest_hex();
+  for (const auto& [name, hex] : subs) {
+    t.update_string(name);
+    t.update_string(hex);
+  }
+  return t;
+}
+
+std::map<std::string, std::string> RunDigest::sub_digest_hex() const {
+  std::map<std::string, std::string> out;
+  for (const Entity& e : entities_) out[e.name] = e.hash.hex();
+  return out;
+}
+
+}  // namespace pmsb::regress

@@ -1,0 +1,110 @@
+#include "regress/divergence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "regress/baseline.hpp"
+
+namespace pmsb::regress {
+
+namespace {
+
+/// Sorted names of entities whose sub-digest differs between the baseline
+/// map and the current digest — including one-sided entities.
+std::vector<std::string> diverged_entities(const CellBaseline& base,
+                                           const RunDigest& current) {
+  const std::map<std::string, std::string> cur = current.sub_digest_hex();
+  std::set<std::string> out;
+  for (const auto& [name, hex] : base.sub_digests) {
+    const auto it = cur.find(name);
+    if (it == cur.end() || it->second != hex) out.insert(name);
+  }
+  for (const auto& [name, hex] : cur) {
+    if (!base.sub_digests.count(name)) out.insert(name);
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace
+
+DivergenceReport find_divergence(const CellBaseline& base, const RunDigest& current,
+                                 const std::function<void(RunDigest&)>& rerun) {
+  DivergenceReport rep;
+  rep.base_events = base.event_count;
+  rep.cur_events = current.count();
+  if (base.digest == current.total().hex() && base.event_count == current.count()) {
+    return rep;
+  }
+  rep.diverged = true;
+  rep.entities = diverged_entities(base, current);
+
+  // Bracket the first diverging stream position: walk the current run's
+  // checkpoints in order against the baseline's (keyed by index). lo = the
+  // last index where both sides agree; hi = the first common index where
+  // they differ. Checkpoint ladders may have different intervals after
+  // compaction, so only common indices are comparable.
+  std::map<std::uint64_t, std::string> base_ckpt;
+  for (const auto& [index, hex] : base.checkpoints) base_ckpt[index] = hex;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = std::max(base.event_count, current.count());
+  for (const RunDigest::Checkpoint& c : current.checkpoints()) {
+    const auto it = base_ckpt.find(c.index);
+    if (it == base_ckpt.end()) continue;
+    if (it->second == c.hash.hex()) {
+      lo = std::max(lo, c.index);
+    } else {
+      hi = std::min(hi, c.index);
+      break;
+    }
+  }
+  if (hi < lo) hi = lo;  // degenerate ladders (shouldn't happen, stay sane)
+  rep.window_lo = lo;
+  rep.window_hi = hi;
+
+  if (rerun) {
+    RunDigest replay(current.checkpoint_interval());
+    // hi == lo means the mismatch is past every common checkpoint (e.g. in
+    // the final stats); journal to the end of the stream.
+    const std::uint64_t jhi = hi > lo ? hi : std::max(rep.base_events, rep.cur_events);
+    replay.arm_journal(lo, jhi == lo ? lo + 1 : jhi);
+    rerun(replay);
+    const std::set<std::string> bad(rep.entities.begin(), rep.entities.end());
+    for (const RunDigest::JournalRecord& r : replay.journal()) {
+      const std::string& name = r.entity < replay.num_entities()
+                                    ? replay.entity_name(r.entity)
+                                    : std::string();
+      if (bad.empty() || bad.count(name)) {
+        rep.event_located = true;
+        rep.first_event = r;
+        rep.first_entity_name = name;
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+std::string DivergenceReport::summary() const {
+  if (!diverged) return "";
+  std::ostringstream os;
+  os << "digest mismatch: events " << base_events << " (baseline) vs " << cur_events
+     << " (current), divergence window [" << window_lo << ", " << window_hi << ")\n";
+  if (!entities.empty()) {
+    os << "diverged entities:";
+    for (const std::string& e : entities) os << ' ' << e;
+    os << '\n';
+  }
+  if (event_located) {
+    os << "first diverging event: #" << first_event.index << " t=" << first_event.time
+       << "ns entity=" << first_entity_name << " kind="
+       << event_kind_name(first_event.kind) << " a=" << first_event.a
+       << " b=" << first_event.b << '\n';
+  } else {
+    os << "first diverging event: not localized (no journaled event in window)\n";
+  }
+  return os.str();
+}
+
+}  // namespace pmsb::regress

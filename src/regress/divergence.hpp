@@ -1,0 +1,52 @@
+// Divergence localization for digest mismatches.
+//
+// When a cell's total digest differs from its baseline, find_divergence()
+// (1) names the entities whose sub-digests drifted, (2) brackets the first
+// diverging stream position by comparing the baseline's checkpoint ladder
+// against the current run's, and (3) re-runs the cell once with a windowed
+// journal armed over that bracket, reporting the first journaled event whose
+// entity is in the diverged set — time, entity, event kind, payload.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "regress/digest.hpp"
+
+namespace pmsb::regress {
+
+struct CellBaseline;
+
+struct DivergenceReport {
+  bool diverged = false;
+
+  /// The checkpoint bracket [window_lo, window_hi) in stream indices.
+  std::uint64_t window_lo = 0;
+  std::uint64_t window_hi = 0;
+  std::uint64_t base_events = 0;
+  std::uint64_t cur_events = 0;
+
+  /// Entity names whose sub-digest differs (sorted). Also lists entities
+  /// present on only one side.
+  std::vector<std::string> entities;
+
+  /// True when the re-run journal pinpointed a concrete first event.
+  bool event_located = false;
+  RunDigest::JournalRecord first_event;
+  std::string first_entity_name;
+
+  /// Multi-line human-readable report ("" when !diverged).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compares `current` against `base`; on mismatch calls `rerun` with a fresh
+/// journal-armed RunDigest (the caller re-executes the cell feeding it) to
+/// locate the first diverging event. `rerun` may be a no-op for diff-only
+/// callers — the report then carries the window and entity set without a
+/// pinpointed event.
+[[nodiscard]] DivergenceReport find_divergence(
+    const CellBaseline& base, const RunDigest& current,
+    const std::function<void(RunDigest&)>& rerun);
+
+}  // namespace pmsb::regress

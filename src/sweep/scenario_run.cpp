@@ -14,11 +14,13 @@
 #include "faults/fault_plan.hpp"
 #include "faults/invariants.hpp"
 #include "faults/watchdog.hpp"
+#include "regress/digest.hpp"
 #include "sim/rng.hpp"
 #include "stats/csv.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/process_stats.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
 #include "workload/size_dist.hpp"
@@ -60,11 +62,17 @@ struct RunTelemetry {
   void attach(Scenario& sc) {
     if (!metrics_path.empty()) {
       telemetry::bind_simulator_metrics(registry, sc.simulator());
+      registry.gauge_fn("process.peak_rss_bytes", {}, [] {
+        return static_cast<double>(telemetry::peak_rss_bytes());
+      }, "bytes");
       sc.bind_metrics(registry);
     }
     if (!ts_path.empty()) {
       sampler = std::make_unique<telemetry::TimeSeriesSampler>(sc.simulator(), period);
       sc.add_sampler_columns(*sampler);
+      sampler->add_probe("process.peak_rss_bytes", [] {
+        return static_cast<double>(telemetry::peak_rss_bytes());
+      });
       sampler->start();
     }
   }
@@ -213,7 +221,19 @@ struct Robustness {
   }
 };
 
-void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
+/// Folds the digest results into the record + manifest. Call after the
+/// scenario's finalize_digest(), before the results mirror loop.
+void report_digest(const regress::RunDigest* digest, RunRecord& rec,
+                   RunTelemetry& telemetry) {
+  if (digest == nullptr) return;
+  const std::string hex = digest->total().hex();
+  rec.info["digest"] = hex;
+  rec.results["digest.events"] = static_cast<double>(digest->count());
+  telemetry.manifest.set_info("digest", hex);
+}
+
+void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
+                  RunRecord& rec) {
   DumbbellConfig cfg;
   const auto queues = static_cast<std::size_t>(opts.get_int("queues", 2));
   cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
@@ -261,6 +281,7 @@ void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
       });
     }
   }
+  if (digest != nullptr) sc.install_digest(*digest);
 
   Robustness robust;
   robust.install(
@@ -313,7 +334,11 @@ void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
   rec.results["rtt_us.p99"] = rtt.percentile(99);
   rec.results["marks"] = static_cast<double>(marks);
   rec.results["drops"] = static_cast<double>(drops);
+  rec.results["sim.events_executed"] =
+      static_cast<double>(sc.simulator().executed_events());
   robust.finalize(rec);
+  sc.finalize_digest();
+  report_digest(digest, rec, telemetry);
   rec.info["topology"] = "dumbbell";
   rec.info["scheme"] = scheme_name(scheme);
   rec.info["scheduler"] = sc.bottleneck().scheduler().name();
@@ -325,7 +350,8 @@ void run_dumbbell(const Options& opts, bool quiet, RunRecord& rec) {
   rec.manifest_path = telemetry.metrics_path;
 }
 
-void run_leafspine(const Options& opts, bool quiet, RunRecord& rec) {
+void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
+                   RunRecord& rec) {
   LeafSpineConfig cfg;
   cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 9.0));
   cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
@@ -358,6 +384,7 @@ void run_leafspine(const Options& opts, bool quiet, RunRecord& rec) {
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   sim::Rng rng(seed);
   sc.add_workload(workload::generate_poisson_traffic(tc, dist, rng));
+  if (digest != nullptr) sc.install_digest(*digest);
 
   // Default bleach location: every spine — the classic "broken middlebox in
   // the core" failure the headline experiment studies.
@@ -427,7 +454,11 @@ void run_leafspine(const Options& opts, bool quiet, RunRecord& rec) {
   record_fct("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
   record_fct("large", sc.fct().fct_us(stats::SizeBin::kLarge));
   record_fct("overall", sc.fct().overall_fct_us());
+  rec.results["sim.events_executed"] =
+      static_cast<double>(sc.simulator().executed_events());
   robust.finalize(rec);
+  sc.finalize_digest();
+  report_digest(digest, rec, telemetry);
   for (const auto& [k, v] : rec.results) telemetry.manifest.set_result(k, v);
   telemetry.manifest.set_result("flows_completed",
                                 static_cast<double>(sc.completed_flows()));
@@ -439,15 +470,27 @@ void run_leafspine(const Options& opts, bool quiet, RunRecord& rec) {
 }  // namespace
 
 RunRecord run_scenario(const SweepPoint& point, bool quiet) {
+  return run_scenario(point, quiet, nullptr);
+}
+
+RunRecord run_scenario(const SweepPoint& point, bool quiet,
+                       regress::RunDigest* digest) {
   RunRecord rec;
   rec.index = point.index;
   rec.label = point.label;
   rec.config = point.opts.values();
+  // `digest=1` without an external digest: compute one internally just for
+  // the info["digest"] / results["digest.events"] report.
+  std::unique_ptr<regress::RunDigest> owned;
+  if (digest == nullptr && point.opts.get_bool("digest", false)) {
+    owned = std::make_unique<regress::RunDigest>();
+    digest = owned.get();
+  }
   const std::string topology = point.opts.get("topology", "dumbbell");
   if (topology == "dumbbell") {
-    run_dumbbell(point.opts, quiet, rec);
+    run_dumbbell(point.opts, quiet, digest, rec);
   } else if (topology == "leafspine") {
-    run_leafspine(point.opts, quiet, rec);
+    run_leafspine(point.opts, quiet, digest, rec);
   } else {
     throw std::invalid_argument("unknown topology '" + topology + "'");
   }

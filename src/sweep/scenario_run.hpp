@@ -11,6 +11,10 @@
 
 #include "sweep/sweep.hpp"
 
+namespace pmsb::regress {
+class RunDigest;
+}
+
 namespace pmsb::sweep {
 
 /// Runs the scenario `point.opts` describes and returns its record. With
@@ -19,6 +23,16 @@ namespace pmsb::sweep {
 /// console-only keys. `cell_timeout_s=` arms a wall-clock faults::Deadline
 /// on the run's simulator; expiry throws faults::DeadlineExceeded. Throws
 /// std::invalid_argument on unknown topology / scheme / malformed options.
+///
+/// `digest=1` in the options computes a run digest internally and reports
+/// it in info["digest"] / results["digest.events"].
 [[nodiscard]] RunRecord run_scenario(const SweepPoint& point, bool quiet);
+
+/// As above, but feeds the run's canonical events into an EXTERNAL `digest`
+/// (which must be fresh — entities are registered per run). The regression
+/// plane uses this form so it can inspect sub-digests, checkpoints, and the
+/// windowed journal after the run. Pass nullptr for the plain behavior.
+[[nodiscard]] RunRecord run_scenario(const SweepPoint& point, bool quiet,
+                                     regress::RunDigest* digest);
 
 }  // namespace pmsb::sweep

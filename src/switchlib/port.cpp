@@ -108,7 +108,26 @@ void Port::bind_metrics(telemetry::MetricsRegistry& registry,
   marking_->bind_metrics(registry, labels);
 }
 
+namespace {
+
+regress::EventKind to_digest_kind(trace::EventKind kind) {
+  switch (kind) {
+    case trace::EventKind::kEnqueue: return regress::EventKind::kEnqueue;
+    case trace::EventKind::kDequeue: return regress::EventKind::kDequeue;
+    case trace::EventKind::kMark: return regress::EventKind::kMark;
+    case trace::EventKind::kDrop: return regress::EventKind::kDrop;
+  }
+  return regress::EventKind::kEnqueue;
+}
+
+}  // namespace
+
 void Port::trace_event(trace::EventKind kind, const Packet& pkt, std::size_t queue) {
+  if (digest_ != nullptr) {
+    digest_->event(digest_entity_, to_digest_kind(kind),
+                   static_cast<std::int64_t>(sim_.now()), pkt.id,
+                   (static_cast<std::uint64_t>(queue) << 48) | sched_->total_bytes());
+  }
   if (tracer_ == nullptr) return;
   tracer_->record({sim_.now(), kind, pkt.id, pkt.flow_id, queue,
                    sched_->total_bytes()});

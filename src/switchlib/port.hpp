@@ -13,6 +13,7 @@
 #include "ecn/marking.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "regress/digest.hpp"
 #include "sched/factory.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
@@ -99,6 +100,15 @@ class Port {
   /// must outlive the port.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Feeds this port's canonical events (enqueue/dequeue/mark/drop) into a
+  /// run digest as `entity` (nullptr to detach). Same cost contract as
+  /// set_tracer: one null check on the packet path when off. The digest
+  /// must outlive the port.
+  void set_digest(regress::RunDigest* digest, regress::EntityId entity) {
+    digest_ = digest;
+    digest_entity_ = entity;
+  }
+
   /// Registers this port's instruments in `registry` under `labels`
   /// (e.g. {{"switch","leaf0"},{"port","2"}}): every PortStats cell as a
   /// bound counter (drop reasons and per-queue marks included), live
@@ -137,6 +147,8 @@ class Port {
   Classifier classifier_;
   BufferPool* pool_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  regress::RunDigest* digest_ = nullptr;
+  regress::EntityId digest_entity_ = 0;
   bool transmitting_ = false;
   void trace_event(trace::EventKind kind, const Packet& pkt, std::size_t queue);
   PortStats stats_;

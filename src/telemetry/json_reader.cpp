@@ -58,11 +58,31 @@ class Parser {
     } else if (code < 0x800) {
       out += static_cast<char>(0xc0 | (code >> 6));
       out += static_cast<char>(0x80 | (code & 0x3f));
-    } else {
+    } else if (code < 0x10000) {
       out += static_cast<char>(0xe0 | (code >> 12));
       out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
       out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
     }
+  }
+
+  /// The 4 hex digits of a \uXXXX escape (the "\u" already consumed).
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("invalid \\u escape digit");
+    }
+    return code;
   }
 
   std::string parse_string() {
@@ -88,15 +108,23 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("invalid \\u escape digit");
+          unsigned code = parse_hex4();
+          if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("lone low surrogate in \\u escape");
+          }
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: must pair with \uDC00..\uDFFF to form one
+            // supplementary-plane code point (RFC 8259 section 7).
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) {
+              fail("high surrogate not followed by low surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
           }
           append_utf8(out, code);
           break;

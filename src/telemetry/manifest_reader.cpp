@@ -61,6 +61,10 @@ ManifestData parse_run_manifest(const std::string& text, const std::string& orig
     if (!v->is_number()) fail(origin, "sim_time_us is not a number");
     out.sim_time_us = v->number;
   }
+  if (const json::Value* v = root.find("peak_rss_bytes")) {
+    if (!v->is_number()) fail(origin, "peak_rss_bytes is not a number");
+    out.peak_rss_bytes = v->number;
+  }
   out.config = string_map(root, "config", origin);
   out.info = string_map(root, "info", origin);
   if (const json::Value* results = root.find("results")) {

@@ -21,6 +21,7 @@ struct ManifestData {
   std::uint64_t seed = 0;
   double wall_clock_s = 0.0;
   double sim_time_us = 0.0;
+  double peak_rss_bytes = 0.0;  ///< 0 when the writer predates the field
   std::map<std::string, std::string> config;
   std::map<std::string, std::string> info;
   std::map<std::string, double> results;

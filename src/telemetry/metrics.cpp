@@ -164,6 +164,14 @@ std::vector<MetricsRegistry::Snapshot> MetricsRegistry::collect() const {
   return out;
 }
 
+std::vector<MetricsRegistry::Snapshot> MetricsRegistry::collect_sorted() const {
+  auto out = collect();
+  std::sort(out.begin(), out.end(), [](const Snapshot& a, const Snapshot& b) {
+    return instrument_key(a.name, a.labels) < instrument_key(b.name, b.labels);
+  });
+  return out;
+}
+
 bool MetricsRegistry::has(const std::string& name, const Labels& labels) const {
   return find(name, labels) != nullptr;
 }

@@ -138,6 +138,12 @@ class MetricsRegistry {
   /// Evaluates every instrument (including probes) in registration order.
   [[nodiscard]] std::vector<Snapshot> collect() const;
 
+  /// collect(), sorted by canonical instrument key. Exports (manifest JSON,
+  /// CSV) use this so two runs that register instruments in a different
+  /// order still serialize identically — a requirement for the regression
+  /// plane's byte-stable artifacts.
+  [[nodiscard]] std::vector<Snapshot> collect_sorted() const;
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool has(const std::string& name, const Labels& labels = {}) const;
   /// Current value of a counter/gauge instrument; throws if absent or a

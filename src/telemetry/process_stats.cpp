@@ -1,0 +1,24 @@
+#include "telemetry/process_stats.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace pmsb::telemetry {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    // "VmHWM:      123456 kB"
+    if (line.rfind("VmHWM:", 0) == 0) {
+      const std::uint64_t kb = std::strtoull(line.c_str() + 6, nullptr, 10);
+      return kb * 1024;
+    }
+  }
+#endif
+  return 0;
+}
+
+}  // namespace pmsb::telemetry

@@ -1,0 +1,15 @@
+// Best-effort process-level resource probes.
+//
+// peak_rss_bytes() reads VmHWM from /proc/self/status on Linux (the
+// high-water mark of resident set size, in bytes). On platforms without
+// procfs it returns 0 — callers treat 0 as "unknown", never as "no memory".
+#pragma once
+
+#include <cstdint>
+
+namespace pmsb::telemetry {
+
+/// Peak resident set size of this process in bytes, or 0 when unavailable.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace pmsb::telemetry

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "telemetry/process_stats.hpp"
+
 namespace pmsb::telemetry {
 
 namespace {
@@ -148,6 +150,7 @@ std::string RunManifest::to_json(const MetricsRegistry* registry) const {
       static_cast<double>(wall_now_ns() - wall_start_ns_) * 1e-9;
   w.key("wall_clock_s").value(wall_s);
   w.key("sim_time_us").value(sim_time_us_);
+  w.key("peak_rss_bytes").value(peak_rss_bytes());
 
   w.key("config").begin_object();
   for (const auto& [k, v] : config_) w.key(k).value(v);
@@ -163,7 +166,7 @@ std::string RunManifest::to_json(const MetricsRegistry* registry) const {
 
   w.key("metrics").begin_array();
   if (registry != nullptr) {
-    for (const auto& snap : registry->collect()) {
+    for (const auto& snap : registry->collect_sorted()) {
       w.begin_object();
       w.key("name").value(snap.name);
       w.key("kind").value(instrument_kind_name(snap.kind));

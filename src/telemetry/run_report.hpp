@@ -12,7 +12,7 @@
 //   {
 //     "schema": "pmsb.run_manifest/1",
 //     "tool": "...", "git": "...", "seed": N,
-//     "wall_clock_s": W, "sim_time_us": T,
+//     "wall_clock_s": W, "sim_time_us": T, "peak_rss_bytes": R,
 //     "config":  { "key": "value", ... },
 //     "info":    { "key": "value", ... },
 //     "results": { "key": number, ... },

@@ -80,6 +80,10 @@ void DctcpSender::send_segment(std::uint64_t seq, bool is_retransmit) {
   pkt.seq = seq;
   pkt.fin = !infinite() && seq + payload >= flow_bytes_;
   pkt.ect = cfg_.ecn_enabled;
+  if (digest_ != nullptr) {
+    digest_->event(digest_entity_, regress::EventKind::kSend,
+                   static_cast<std::int64_t>(sim_.now()), pkt.id, seq);
+  }
   local_.send(std::move(pkt));
   ++stats_.segments_sent;
   // Go-back-N resends after an RTO arrive here through the normal send path
@@ -177,6 +181,11 @@ void DctcpSender::on_ack(const Packet& ack) {
     // from other queues sharing the port — stay blind to it.
     marked = false;
     ++stats_.ece_ignored;
+  }
+  if (digest_ != nullptr) {
+    digest_->event(digest_entity_, regress::EventKind::kAck,
+                   static_cast<std::int64_t>(sim_.now()), ack.ack,
+                   (ack.ece ? 1u : 0u) | (marked ? 2u : 0u));
   }
 
   if (ack.ack > snd_una_) {

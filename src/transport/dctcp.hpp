@@ -22,6 +22,7 @@
 
 #include "net/host.hpp"
 #include "net/packet.hpp"
+#include "regress/digest.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
@@ -121,6 +122,13 @@ class DctcpSender {
   /// Observer invoked per RTT sample (for the paper's RTT CDFs).
   void set_rtt_observer(std::function<void(TimeNs)> obs) { rtt_observer_ = std::move(obs); }
 
+  /// Feeds kSend (per segment) and kAck (per processed ACK) digest events as
+  /// `entity` (nullptr to detach). The digest must outlive the sender.
+  void set_digest(regress::RunDigest* digest, regress::EntityId entity) {
+    digest_ = digest;
+    digest_entity_ = entity;
+  }
+
   /// Registers this sender's instruments under `labels`: every SenderStats
   /// cell as a bound counter plus live cwnd / alpha probe gauges.
   void bind_metrics(telemetry::MetricsRegistry& registry,
@@ -207,6 +215,8 @@ class DctcpSender {
   SenderStats stats_;
   CompletionCallback on_complete_;
   std::function<void(TimeNs)> rtt_observer_;
+  regress::RunDigest* digest_ = nullptr;
+  regress::EntityId digest_entity_ = 0;
 };
 
 /// Receiver: cumulative ACKs with out-of-order reassembly and exact ECN

@@ -17,6 +17,7 @@
 #include "telemetry/json_reader.hpp"
 #include "telemetry/manifest_reader.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/process_stats.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
 
@@ -248,6 +249,41 @@ TEST(MetricsRegistry, ProbeInstrumentsEvaluateAtCollect) {
   EXPECT_DOUBLE_EQ(snaps[1].value, 2.5);
   EXPECT_EQ(snaps[0].kind, InstrumentKind::kCounter);
   EXPECT_EQ(snaps[1].kind, InstrumentKind::kGauge);
+}
+
+TEST(MetricsRegistry, CollectSortedOrdersByInstrumentKey) {
+  MetricsRegistry reg;
+  // Register deliberately out of key order.
+  reg.counter("zeta.total");
+  reg.gauge("alpha.depth", {{"port", "b"}});
+  reg.gauge("alpha.depth", {{"port", "a"}});
+  reg.counter("mid.count");
+
+  // collect() preserves registration order (samplers and tests rely on it).
+  const auto raw = reg.collect();
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_EQ(raw[0].name, "zeta.total");
+
+  // collect_sorted() orders by canonical key regardless of registration.
+  const auto sorted = reg.collect_sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  std::vector<std::string> keys;
+  for (const auto& s : sorted) keys.push_back(instrument_key(s.name, s.labels));
+  for (std::size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+  EXPECT_EQ(keys.front(), "alpha.depth{port=a}");
+  EXPECT_EQ(keys.back(), "zeta.total");
+}
+
+TEST(RunManifest, MetricsSectionIsSortedByInstrumentKey) {
+  MetricsRegistry reg;
+  reg.counter("z.last").inc(1);
+  reg.counter("a.first").inc(2);
+  RunManifest manifest("t");
+  const JsonValue root = JsonParser(manifest.to_json(&reg)).parse();
+  const auto& metrics = root.at("metrics").array;
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].at("name").str, "a.first");
+  EXPECT_EQ(metrics[1].at("name").str, "z.last");
 }
 
 TEST(MetricsRegistry, ValueOnHistogramThrows) {
@@ -531,6 +567,66 @@ TEST(JsonReader, RejectsMalformedDocuments) {
   EXPECT_THROW(parse("1.2.3"), ParseError);
   // Depth bomb: beyond the recursion cap must throw, not overflow the stack.
   EXPECT_THROW(parse(std::string(10000, '[')), ParseError);
+}
+
+TEST(JsonReader, DecodesSurrogatePairsAsUtf8) {
+  // U+1F600 (😀) as a JSON surrogate pair must decode to 4-byte UTF-8, not
+  // CESU-8 (two 3-byte sequences).
+  const auto v = pmsb::telemetry::json::parse("{\"e\":\"\\ud83d\\ude00\"}");
+  const std::string& s = v.at("e").string;
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(s[0]), 0xf0);
+  EXPECT_EQ(static_cast<unsigned char>(s[1]), 0x9f);
+  EXPECT_EQ(static_cast<unsigned char>(s[2]), 0x98);
+  EXPECT_EQ(static_cast<unsigned char>(s[3]), 0x80);
+  // Uppercase hex digits and BMP escapes around the pair still work.
+  const auto w = pmsb::telemetry::json::parse("{\"e\":\"x\\uD83D\\uDE01y\"}");
+  EXPECT_EQ(w.at("e").string.size(), 6u);  // 'x' + 4 bytes + 'y'
+}
+
+TEST(JsonReader, RejectsLoneAndMismatchedSurrogates) {
+  using pmsb::telemetry::json::parse;
+  using pmsb::telemetry::json::ParseError;
+  // Lone high surrogate (end of string, or followed by a non-escape).
+  EXPECT_THROW(parse("{\"e\":\"\\ud83d\"}"), ParseError);
+  EXPECT_THROW(parse("{\"e\":\"\\ud83dx\"}"), ParseError);
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_THROW(parse("{\"e\":\"\\ud83d\\u0041\"}"), ParseError);
+  // Lone low surrogate.
+  EXPECT_THROW(parse("{\"e\":\"\\ude00\"}"), ParseError);
+  // Truncated escapes still fail cleanly.
+  EXPECT_THROW(parse("{\"e\":\"\\ud83d\\u"), ParseError);
+  EXPECT_THROW(parse("{\"e\":\"\\uZZZZ\"}"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Process stats: the peak-RSS probe and its manifest plumbing.
+
+TEST(ProcessStats, PeakRssIsPositiveOnLinuxAndMonotone) {
+#ifdef __linux__
+  const auto rss = pmsb::telemetry::peak_rss_bytes();
+  EXPECT_GT(rss, 0u);
+  // VmHWM is a high-water mark: a second read can only grow.
+  EXPECT_GE(pmsb::telemetry::peak_rss_bytes(), rss);
+#else
+  EXPECT_EQ(pmsb::telemetry::peak_rss_bytes(), 0u);
+#endif
+}
+
+TEST(RunManifest, CarriesPeakRssAndReaderParsesIt) {
+  RunManifest m("rss-test");
+  const std::string json = m.to_json(nullptr);
+  const JsonValue root = JsonParser(json).parse();
+  ASSERT_TRUE(root.has("peak_rss_bytes"));
+  const auto data = pmsb::telemetry::parse_run_manifest(json, "<test>");
+#ifdef __linux__
+  EXPECT_GT(data.peak_rss_bytes, 0.0);
+#endif
+  EXPECT_EQ(data.peak_rss_bytes, root.at("peak_rss_bytes").number);
+  // Writers that predate the field parse with the 0 sentinel.
+  const auto old = pmsb::telemetry::parse_run_manifest(
+      "{\"schema\":\"pmsb.run_manifest/1\"}", "<test>");
+  EXPECT_EQ(old.peak_rss_bytes, 0.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,11 @@
 //   timeseries_csv    path: sample per-port occupancy / mark rate into a
 //                     columnar CSV while the run executes
 //   sample_period_us  sampling period for timeseries_csv (default 100)
+//   digest            1: fold the run's canonical event stream into a
+//                     deterministic 128-bit digest, reported as
+//                     info["digest"] (and in the manifest). The regression
+//                     gate (tools/pmsbregress) compares these digests
+//                     against a recorded baseline.
 // Sweep keys (fan a grid of runs across a worker pool; each run is an
 // isolated single-threaded simulator, so per-run results are bit-identical
 // to a serial jobs=1 sweep):
