@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,10 +19,16 @@
 #include "sched/dwrr.hpp"
 #include "sched/wfq.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/profiler.hpp"
 
 using namespace pmsb;
 
 namespace {
+
+// Attached to every benched simulator ONLY when PMSB_PROFILE_JSON is set:
+// the dispatch hook's two clock reads per event would skew the throughput
+// numbers the regression plane trends, so baseline runs stay unhooked.
+telemetry::Profiler* g_profiler = nullptr;
 
 /// Runs `fn` (one rep = `events` work units) warmup + reps times and returns
 /// the timed sample as a BenchRecord, printing one table row.
@@ -29,12 +36,20 @@ regress::BenchRecord time_bench(const std::string& name, std::uint64_t events,
                                 const std::function<void()>& fn) {
   const int warmup = 1;
   const int reps = bench::full_scale() ? 9 : 5;
-  for (int i = 0; i < warmup; ++i) fn();
+  // One profiler scope per bench kind (profiled runs only), so `pmsbtrace
+  // profile` can rank the benches by count and self wall time.
+  const telemetry::Profiler::KindId kind =
+      g_profiler != nullptr ? g_profiler->intern("bench." + name) : 0;
+  auto run_rep = [&] {
+    telemetry::ProfileScope scope(g_profiler, kind);
+    fn();
+  };
+  for (int i = 0; i < warmup; ++i) run_rep();
   std::vector<double> wall;
   wall.reserve(static_cast<std::size_t>(reps));
   for (int i = 0; i < reps; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
-    fn();
+    run_rep();
     wall.push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count());
@@ -50,17 +65,20 @@ volatile std::uint64_t g_sink = 0;  // keeps the measured loops observable
 
 void event_schedule_and_run(std::int64_t batch) {
   sim::Simulator sim;
+  if (g_profiler != nullptr) g_profiler->attach(sim);
   std::int64_t fired = 0;
   for (std::int64_t i = 0; i < batch; ++i) {
     sim.schedule_at((i * 7919) % 100000, [&fired] { ++fired; });
   }
   sim.run();
   g_sink = static_cast<std::uint64_t>(fired);
+  if (g_profiler != nullptr) g_profiler->detach();
 }
 
 void event_cascade(std::int64_t depth_target) {
   // Self-rescheduling chain — the transport timer pattern.
   sim::Simulator sim;
+  if (g_profiler != nullptr) g_profiler->attach(sim);
   std::int64_t depth = 0;
   std::function<void()> chain = [&] {
     if (++depth < depth_target) sim.schedule_in(1, chain);
@@ -68,6 +86,7 @@ void event_cascade(std::int64_t depth_target) {
   sim.schedule_at(0, chain);
   sim.run();
   g_sink = static_cast<std::uint64_t>(depth);
+  if (g_profiler != nullptr) g_profiler->detach();
 }
 
 sched::Packet make_pkt() {
@@ -104,6 +123,10 @@ int main() {
   const std::int64_t sched_ops =
       static_cast<std::int64_t>(bench::scaled(200000, 2000000));
 
+  telemetry::Profiler profiler;
+  const char* profile_path = std::getenv("PMSB_PROFILE_JSON");
+  if (profile_path != nullptr && profile_path[0] != '\0') g_profiler = &profiler;
+
   regress::BenchReport report;
   report.tool = "bench_micro_engine";
   report.scale = bench::full_scale() ? "full" : "quick";
@@ -123,5 +146,9 @@ int main() {
                  [&] { scheduler_churn<sched::WfqScheduler>(sched_ops); }));
 
   regress::maybe_write_bench_json(report);
+  if (g_profiler != nullptr && telemetry::maybe_write_profile_json(*g_profiler)) {
+    std::printf("wrote %s (pmsb.profile/1, %zu scopes)\n", profile_path,
+                g_profiler->num_kinds());
+  }
   return 0;
 }

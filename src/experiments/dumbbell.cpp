@@ -78,6 +78,7 @@ std::size_t DumbbellScenario::add_flow(const DumbbellFlowSpec& spec) {
                                                 spec.bytes, tc);
   flow->start(spec.start);
   flows_.push_back(std::move(flow));
+  flow_sender_idx_.push_back(spec.sender);
   return flows_.size() - 1;
 }
 
@@ -150,6 +151,43 @@ void DumbbellScenario::finalize_digest() {
     d.stat(id, "completion_time",
            static_cast<std::uint64_t>(s.complete() ? s.completion_time() : 0));
   }
+}
+
+void DumbbellScenario::install_profiler(telemetry::Profiler& profiler) {
+  profiler.attach(sim_);
+  switch_->port(bottleneck_port_).set_profiler(&profiler);
+  for (auto& flow : flows_) flow->sender().set_profiler(&profiler);
+}
+
+void DumbbellScenario::install_span_tracer(trace::SpanTracer& spans) {
+  switch_->port(bottleneck_port_).set_span_tracer(&spans, switch_->name());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    // Watched flows only record; unwatched ones pay a hash lookup at most.
+    flows_[i]->sender().set_span_tracer(
+        &spans, senders_[flow_sender_idx_.at(i)]->name());
+  }
+  // The bottleneck link reports when a packet's last bit left the wire
+  // (kLinkTx) and when it reached the receiver (kRx). The link sits below
+  // trace/ in the library stack, so the adaptation happens here.
+  const trace::NodeId link_node = spans.intern_node("switch->receiver");
+  switch_->port(bottleneck_port_).link()->set_delivery_observer(
+      [sp = &spans, link_node](const net::Packet& pkt, sim::TimeNs tx_done,
+                               sim::TimeNs rx_time) {
+        if (!sp->wants(pkt.flow_id)) return;
+        trace::SpanRecord span;
+        span.packet = pkt.id;
+        span.flow = pkt.flow_id;
+        span.node = link_node;
+        span.seq = pkt.seq;
+        span.size_bytes = pkt.size_bytes;
+        span.marked = pkt.ce;
+        span.time = tx_done;
+        span.phase = trace::SpanPhase::kLinkTx;
+        sp->record(span);
+        span.time = rx_time;
+        span.phase = trace::SpanPhase::kRx;
+        sp->record(span);
+      });
 }
 
 void DumbbellScenario::install_faults(faults::FaultPlan& plan, std::uint64_t seed) {

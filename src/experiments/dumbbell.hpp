@@ -25,7 +25,9 @@
 #include "stats/summary.hpp"
 #include "switchlib/switch.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/sampler.hpp"
+#include "trace/spans.hpp"
 #include "transport/dctcp.hpp"
 
 namespace pmsb::experiments {
@@ -120,6 +122,20 @@ class DumbbellScenario {
   void install_digest(regress::RunDigest& digest);
   void finalize_digest();
 
+  // --- Observability plane ---
+  /// Attaches `profiler` to the kernel and to the instrumented components
+  /// (bottleneck port + every flow's sender). Call after add_flow(); the
+  /// profiler must outlive the scenario's last event (it detaches itself
+  /// from the kernel on destruction).
+  void install_profiler(telemetry::Profiler& profiler);
+  /// Wires span capture for watched flows: kSend/kAck at the senders,
+  /// kEnqueue/kDequeue/kMark/kDrop at the bottleneck port, kLinkTx/kRx on
+  /// the bottleneck link. Call after add_flow(); `spans` must outlive the
+  /// scenario.
+  void install_span_tracer(trace::SpanTracer& spans);
+  /// The port whose Tracer capture `trace_ndjson=` exports.
+  [[nodiscard]] switchlib::Port& trace_port() { return bottleneck(); }
+
   /// The un-loaded round-trip time sender -> receiver -> sender.
   [[nodiscard]] sim::TimeNs base_rtt() const;
 
@@ -136,6 +152,7 @@ class DumbbellScenario {
   faults::ConservationLedger ledger_;
   faults::FaultPlan* plan_ = nullptr;
   std::vector<std::unique_ptr<transport::Flow>> flows_;
+  std::vector<std::size_t> flow_sender_idx_;  ///< flow idx -> sender host idx
   std::size_t bottleneck_port_ = 0;
   net::FlowId next_flow_id_ = 1;
   regress::RunDigest* digest_ = nullptr;

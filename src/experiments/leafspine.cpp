@@ -91,6 +91,7 @@ void LeafSpineScenario::add_workload(const std::vector<workload::FlowSpec>& spec
         });
     flow->start(spec.start);
     flows_.push_back(std::move(flow));
+    flow_src_idx_.push_back(spec.src);
   }
 }
 
@@ -225,6 +226,56 @@ void LeafSpineScenario::finalize_digest() {
     d.stat(id, "complete", s.complete() ? 1 : 0);
     d.stat(id, "completion_time",
            static_cast<std::uint64_t>(s.complete() ? s.completion_time() : 0));
+  }
+}
+
+void LeafSpineScenario::install_profiler(telemetry::Profiler& profiler) {
+  profiler.attach(sim_);
+  auto wire_switch = [&profiler](switchlib::Switch& sw) {
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) sw.port(p).set_profiler(&profiler);
+  };
+  for (auto& l : leaves_) wire_switch(*l);
+  for (auto& s : spines_) wire_switch(*s);
+  for (auto& flow : flows_) flow->sender().set_profiler(&profiler);
+}
+
+void LeafSpineScenario::install_span_tracer(trace::SpanTracer& spans) {
+  auto wire_switch = [&spans](switchlib::Switch& sw) {
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      sw.port(p).set_span_tracer(&spans, sw.name() + "/p" + std::to_string(p));
+    }
+  };
+  for (auto& l : leaves_) wire_switch(*l);
+  for (auto& s : spines_) wire_switch(*s);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    flows_[i]->sender().set_span_tracer(&spans,
+                                        hosts_[flow_src_idx_.at(i)]->name());
+  }
+  // kLinkTx/kRx on the last hop only (leaf -> destination host), so kRx
+  // always means arrival at the receiver and the FCT decomposition stays
+  // well-formed; mid-path hops show up as enqueue/dequeue pairs instead.
+  // The constructor wires host links first, two per host, downlink second.
+  for (std::size_t h = 0; h < num_hosts(); ++h) {
+    const faults::LinkRef& ref = link_refs_.at(2 * h + 1);
+    const trace::NodeId link_node = spans.intern_node(ref.src + "->" + ref.dst);
+    ref.link->set_delivery_observer(
+        [sp = &spans, link_node](const net::Packet& pkt, sim::TimeNs tx_done,
+                                 sim::TimeNs rx_time) {
+          if (!sp->wants(pkt.flow_id)) return;
+          trace::SpanRecord span;
+          span.packet = pkt.id;
+          span.flow = pkt.flow_id;
+          span.node = link_node;
+          span.seq = pkt.seq;
+          span.size_bytes = pkt.size_bytes;
+          span.marked = pkt.ce;
+          span.time = tx_done;
+          span.phase = trace::SpanPhase::kLinkTx;
+          sp->record(span);
+          span.time = rx_time;
+          span.phase = trace::SpanPhase::kRx;
+          sp->record(span);
+        });
   }
 }
 

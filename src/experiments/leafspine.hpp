@@ -24,7 +24,9 @@
 #include "stats/fct.hpp"
 #include "switchlib/switch.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/sampler.hpp"
+#include "trace/spans.hpp"
 #include "transport/dctcp.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -114,6 +116,20 @@ class LeafSpineScenario {
   void install_digest(regress::RunDigest& digest);
   void finalize_digest();
 
+  // --- Observability plane ---
+  /// Attaches `profiler` to the kernel, every switch port, and every flow's
+  /// sender. Call after add_workload(); the profiler must outlive the
+  /// scenario's last event.
+  void install_profiler(telemetry::Profiler& profiler);
+  /// Wires span capture for watched flows: kSend/kAck at the source hosts
+  /// and kEnqueue/kDequeue/kMark/kDrop at every switch port (labelled
+  /// "<switch>/p<idx>"). Call after add_workload(); `spans` must outlive
+  /// the scenario.
+  void install_span_tracer(trace::SpanTracer& spans);
+  /// The port whose Tracer capture `trace_ndjson=` exports: the first
+  /// spine's first downlink — a core port every leaf's traffic crosses.
+  [[nodiscard]] switchlib::Port& trace_port() { return spines_.at(0)->port(0); }
+
   /// The un-loaded RTT between two hosts under different leaves.
   [[nodiscard]] sim::TimeNs base_rtt_interrack() const;
 
@@ -132,6 +148,7 @@ class LeafSpineScenario {
   faults::ConservationLedger ledger_;
   faults::FaultPlan* plan_ = nullptr;
   std::vector<std::unique_ptr<transport::Flow>> flows_;
+  std::vector<std::size_t> flow_src_idx_;  ///< flow idx -> source host idx
   stats::FctCollector fct_;
   std::size_t completed_ = 0;
   net::FlowId next_flow_id_ = 1;

@@ -98,6 +98,50 @@ bool Options::get_bool(const std::string& key, bool fallback) const {
   throw std::invalid_argument("Options: '" + key + "' is not a boolean");
 }
 
+namespace {
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Classic two-row Levenshtein; option keys are short so O(|a|*|b|) is fine.
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+}  // namespace
+
+std::string Options::closest_key(const std::string& key,
+                                 const std::vector<std::string>& candidates,
+                                 std::size_t max_distance) {
+  std::string best;
+  std::size_t best_dist = max_distance + 1;
+  for (const auto& c : candidates) {
+    const std::size_t d = edit_distance(key, c);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void Options::validate_keys(const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) continue;
+    std::string msg = "unknown option '" + key + "'";
+    const std::string suggestion = closest_key(key, allowed);
+    if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+    msg += "; run with --help for the key list";
+    throw std::invalid_argument(msg);
+  }
+}
+
 std::vector<double> Options::get_double_list(const std::string& key) const {
   std::vector<double> out;
   const auto it = values_.find(key);

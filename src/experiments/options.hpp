@@ -43,6 +43,18 @@ class Options {
     return values_;
   }
 
+  /// Throws std::invalid_argument naming the first key not in `allowed`,
+  /// with a "did you mean" suggestion when a near-miss exists. Tools call
+  /// this after parsing so a typo (`trace_flow=3`) fails loudly instead of
+  /// being silently ignored.
+  void validate_keys(const std::vector<std::string>& allowed) const;
+
+  /// The entry of `candidates` closest to `key` by edit distance, or ""
+  /// when nothing is within `max_distance` edits.
+  [[nodiscard]] static std::string closest_key(
+      const std::string& key, const std::vector<std::string>& candidates,
+      std::size_t max_distance = 3);
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -24,6 +24,9 @@ TimeNs Link::transmit(Packet pkt) {
 
 void Link::deliver(Packet pkt) {
   ++packets_delivered_;
+  // now == tx_done + delay_, so the serialization-complete instant is
+  // recoverable without storing it alongside the packet.
+  if (observer_) observer_(pkt, sim_.now() - delay_, sim_.now());
   dst_->receive(std::move(pkt));
 }
 

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -43,6 +45,17 @@ class Link {
     digest_entity_ = entity;
   }
 
+  /// Called at delivery with the packet, when its last bit left the wire
+  /// (tx_done) and when it arrived (rx_time). A generic callback — not a
+  /// SpanTracer — because net/ sits below trace/ in the library stack; the
+  /// scenario wiring adapts it to kLinkTx/kRx span records. Empty = off
+  /// (one branch per delivery, the usual contract).
+  using DeliveryObserver =
+      std::function<void(const Packet&, TimeNs tx_done, TimeNs rx_time)>;
+  void set_delivery_observer(DeliveryObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   [[nodiscard]] bool busy() const { return sim_.now() < busy_until_; }
   [[nodiscard]] sim::RateBps rate() const { return rate_; }
   [[nodiscard]] TimeNs propagation_delay() const { return delay_; }
@@ -65,6 +78,7 @@ class Link {
   Node* dst_;
   regress::RunDigest* digest_ = nullptr;
   regress::EntityId digest_entity_ = 0;
+  DeliveryObserver observer_;
   TimeNs busy_until_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;

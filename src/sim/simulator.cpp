@@ -19,6 +19,7 @@ EventId Simulator::schedule_at(TimeNs t, Callback fn) {
   pending_.insert(id);
   ++live_events_;
   max_heap_depth_ = std::max(max_heap_depth_, heap_.size());
+  if (hook_ != nullptr) hook_->on_schedule();
   return id;
 }
 
@@ -33,6 +34,7 @@ void Simulator::cancel(EventId id) {
   assert(live_events_ > 0);
   --live_events_;
   ++cancelled_events_;
+  if (hook_ != nullptr) hook_->on_cancel();
 }
 
 bool Simulator::step(TimeNs until) {
@@ -53,8 +55,15 @@ bool Simulator::step(TimeNs until) {
     pending_.erase(ev.id);
     assert(live_events_ > 0);
     --live_events_;
+    const TimeNs delta = ev.time - now_;
     now_ = ev.time;
     ++executed_events_;
+    if (hook_ != nullptr) {
+      hook_->begin_dispatch(now_, delta);
+      ev.fn();
+      hook_->end_dispatch();
+      return true;
+    }
 #ifdef PMSB_PROFILE_DISPATCH
     const auto t0 = std::chrono::steady_clock::now();
     ev.fn();

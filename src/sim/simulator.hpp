@@ -27,6 +27,25 @@ using EventId = std::uint64_t;
 /// Invalid/empty event handle.
 inline constexpr EventId kInvalidEventId = 0;
 
+/// Kernel observation interface for profilers. The simulator calls
+/// begin_dispatch()/end_dispatch() around every event callback and
+/// on_schedule()/on_cancel() per heap operation — but ONLY while a hook is
+/// attached, so the un-instrumented cost is one null check per call site
+/// (the same contract as Port::set_tracer). Declared here (not in
+/// telemetry/) so the kernel stays free of upward dependencies; the concrete
+/// implementation lives in telemetry::Profiler.
+class DispatchHook {
+ public:
+  virtual ~DispatchHook() = default;
+  /// About to run an event at simulation time `now`; `delta` is the
+  /// sim-time advance since the previous event (0 for same-timestamp ties).
+  virtual void begin_dispatch(TimeNs now, TimeNs delta) = 0;
+  /// The event callback returned.
+  virtual void end_dispatch() = 0;
+  virtual void on_schedule() = 0;
+  virtual void on_cancel() = 0;
+};
+
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -87,6 +106,11 @@ class Simulator {
   /// dispatch_profiling_enabled().
   [[nodiscard]] std::uint64_t dispatch_wall_ns() const { return dispatch_wall_ns_; }
 
+  /// Attaches a dispatch hook (nullptr to detach). The hook must outlive
+  /// its attachment; telemetry::Profiler detaches itself on destruction.
+  void set_dispatch_hook(DispatchHook* hook) { hook_ = hook; }
+  [[nodiscard]] DispatchHook* dispatch_hook() const { return hook_; }
+
   /// Allocates the next packet id for this run. Packet ids are kernel state
   /// (not process-global) so that every run numbers its packets from 1
   /// regardless of what ran earlier in the process — a prerequisite for
@@ -125,6 +149,7 @@ class Simulator {
   std::uint64_t executed_events_ = 0;
   std::uint64_t cancelled_events_ = 0;
   std::uint64_t dispatch_wall_ns_ = 0;
+  DispatchHook* hook_ = nullptr;
   bool stop_requested_ = false;
 };
 

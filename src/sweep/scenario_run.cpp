@@ -1,6 +1,7 @@
 #include "sweep/scenario_run.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -21,8 +22,11 @@
 #include "stats/table.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/process_stats.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
+#include "trace/spans.hpp"
+#include "trace/tracer.hpp"
 #include "workload/size_dist.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -44,16 +48,53 @@ Scheme parse_scheme(const std::string& s) {
   throw std::invalid_argument("unknown scheme: " + s);
 }
 
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(',', start);
+    if (pos == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      break;
+    }
+    if (pos > start) out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
 /// Optional telemetry wiring shared by both topologies: a metrics registry +
 /// run manifest when `metrics_json=` is given, a time-series sampler when
-/// `timeseries_csv=` is given. Constructing it starts the wall clock.
+/// `timeseries_csv=` is given, a kernel/component profiler when `profile=1`
+/// or `profile_json=` is given, and packet-lifecycle span capture when
+/// `trace_flows=` is given. Constructing it starts the wall clock.
 struct RunTelemetry {
   explicit RunTelemetry(const Options& opts, bool quiet_run)
       : metrics_path(opts.get("metrics_json")),
         ts_path(opts.get("timeseries_csv")),
         period(sim::microseconds_f(opts.get_double("sample_period_us", 100.0))),
+        profile_path(opts.get("profile_json")),
+        spans_path(opts.get("spans_ndjson")),
+        trace_path(opts.get("trace_ndjson")),
         quiet(quiet_run) {
     manifest.set_config(opts.values());
+    if (opts.get_bool("profile", false) || !profile_path.empty()) {
+      profiler = std::make_unique<telemetry::Profiler>();
+    }
+    const std::string watch = opts.get("trace_flows");
+    if (!watch.empty()) {
+      spans = std::make_unique<trace::SpanTracer>();
+      if (watch == "all") {
+        spans->watch_all();
+      } else {
+        for (const std::string& tok : split_csv(watch)) {
+          spans->watch_flow(static_cast<net::FlowId>(std::stoull(tok)));
+        }
+      }
+    } else if (!spans_path.empty()) {
+      throw std::invalid_argument(
+          "spans_ndjson= needs trace_flows= (nothing would be captured)");
+    }
   }
 
   /// Binds the scenario's instruments and starts the sampler. Call once the
@@ -67,19 +108,68 @@ struct RunTelemetry {
       }, "bytes");
       sc.bind_metrics(registry);
     }
+    if (profiler) sc.install_profiler(*profiler);
+    if (spans) sc.install_span_tracer(*spans);
+    if (!trace_path.empty()) {
+      // Post-mortems want the tail of the event stream, so ring mode.
+      tracer = std::make_unique<trace::Tracer>(1'000'000,
+                                               trace::OverflowPolicy::kRingBuffer);
+      sc.trace_port().set_tracer(tracer.get());
+    }
     if (!ts_path.empty()) {
       sampler = std::make_unique<telemetry::TimeSeriesSampler>(sc.simulator(), period);
       sc.add_sampler_columns(*sampler);
       sampler->add_probe("process.peak_rss_bytes", [] {
         return static_cast<double>(telemetry::peak_rss_bytes());
       });
+      // Stream rows as they are sampled so a watchdog / deadline abort
+      // leaves a usable CSV behind instead of an empty file.
+      sampler->stream_to(ts_path);
       sampler->start();
+    }
+  }
+
+  /// Folds profiler / span / trace output into the record and manifest.
+  /// Call after the run, before the record results are mirrored into the
+  /// manifest. Only deterministic scalars go into rec.results — wall-clock
+  /// times would make sweep reports run-to-run unstable.
+  void finalize_observability(RunRecord& rec) {
+    if (profiler) {
+      const std::string json = profiler->to_json();
+      manifest.set_profile_json(json);
+      if (!profile_path.empty()) {
+        std::ofstream out(profile_path);
+        if (!out) {
+          throw std::runtime_error("cannot open profile_json path " + profile_path);
+        }
+        out << json << '\n';
+        if (!quiet) std::printf("wrote %s\n", profile_path.c_str());
+      }
+      rec.results["profile.dispatches"] = static_cast<double>(profiler->dispatches());
+      rec.results["profile.events_scheduled"] =
+          static_cast<double>(profiler->events_scheduled());
+    }
+    if (spans && !spans_path.empty()) {
+      spans->write_ndjson(spans_path);
+      if (!quiet) {
+        std::printf("wrote %s (%zu spans, %llu overflow)\n", spans_path.c_str(),
+                    spans->size(), static_cast<unsigned long long>(spans->overflow()));
+      }
+    }
+    if (tracer) {
+      tracer->write_ndjson(trace_path);
+      if (!quiet) {
+        std::printf("wrote %s (%zu events)\n", trace_path.c_str(),
+                    tracer->records().size());
+      }
     }
   }
 
   void finish(double sim_time_us) {
     if (sampler) {
-      sampler->write_csv(ts_path);
+      // Streaming mode already wrote every row (and survives aborts);
+      // rewriting would only repeat the work.
+      if (!sampler->streaming()) sampler->write_csv(ts_path);
       if (!quiet) {
         std::printf("wrote %s (%zu samples x %zu columns)\n", ts_path.c_str(),
                     sampler->rows(), sampler->num_columns());
@@ -101,26 +191,17 @@ struct RunTelemetry {
   std::string metrics_path;
   std::string ts_path;
   sim::TimeNs period;
+  std::string profile_path;
+  std::string spans_path;
+  std::string trace_path;
   bool quiet;
   telemetry::MetricsRegistry registry;
   telemetry::RunManifest manifest{"pmsbsim"};
   std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+  std::unique_ptr<telemetry::Profiler> profiler;
+  std::unique_ptr<trace::SpanTracer> spans;
+  std::unique_ptr<trace::Tracer> tracer;
 };
-
-std::vector<std::string> split_csv(const std::string& text) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t pos = text.find(',', start);
-    if (pos == std::string::npos) {
-      if (start < text.size()) out.push_back(text.substr(start));
-      break;
-    }
-    if (pos > start) out.push_back(text.substr(start, pos - start));
-    start = pos + 1;
-  }
-  return out;
-}
 
 /// Robustness wiring shared by both topologies: a FaultPlan built from the
 /// `faults=` grammar plus the sweep-friendly `bleach=` sugar (grid values
@@ -342,6 +423,7 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
   rec.info["topology"] = "dumbbell";
   rec.info["scheme"] = scheme_name(scheme);
   rec.info["scheduler"] = sc.bottleneck().scheduler().name();
+  telemetry.finalize_observability(rec);
   rec.sim_time_us = sim::to_microseconds(sc.simulator().now());
   // Mirror every record result into the manifest so a resumed sweep can
   // rehydrate a bit-identical RunRecord from the file alone.
@@ -459,6 +541,7 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
   robust.finalize(rec);
   sc.finalize_digest();
   report_digest(digest, rec, telemetry);
+  telemetry.finalize_observability(rec);
   for (const auto& [k, v] : rec.results) telemetry.manifest.set_result(k, v);
   telemetry.manifest.set_result("flows_completed",
                                 static_cast<double>(sc.completed_flows()));

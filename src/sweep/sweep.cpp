@@ -156,6 +156,9 @@ void prepare_point(SweepPoint& point, const SweepConfig& config,
   // points (every point would write the same path); drop them.
   point.opts.erase("timeseries_csv");
   point.opts.erase("fct_csv");
+  point.opts.erase("profile_json");
+  point.opts.erase("spans_ndjson");
+  point.opts.erase("trace_ndjson");
 }
 
 /// Best-effort stub manifest for a failed cell: enough for a later resume

@@ -1,5 +1,6 @@
 #include "switchlib/port.hpp"
 
+#include <optional>
 #include <utility>
 
 namespace pmsb::switchlib {
@@ -108,6 +109,21 @@ void Port::bind_metrics(telemetry::MetricsRegistry& registry,
   marking_->bind_metrics(registry, labels);
 }
 
+void Port::set_profiler(telemetry::Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ == nullptr) return;
+  kind_handle_ = profiler_->intern("port.handle");
+  kind_transmit_ = profiler_->intern("port.transmit");
+  kind_sched_enqueue_ = profiler_->intern("sched." + sched_->name() + ".enqueue");
+  kind_sched_dequeue_ = profiler_->intern("sched." + sched_->name() + ".dequeue");
+  kind_should_mark_ = profiler_->intern("ecn." + marking_->name() + ".should_mark");
+}
+
+void Port::set_span_tracer(trace::SpanTracer* spans, const std::string& node) {
+  spans_ = spans;
+  span_node_ = spans != nullptr ? spans->intern_node(node) : trace::kNoNode;
+}
+
 namespace {
 
 regress::EventKind to_digest_kind(trace::EventKind kind) {
@@ -120,6 +136,16 @@ regress::EventKind to_digest_kind(trace::EventKind kind) {
   return regress::EventKind::kEnqueue;
 }
 
+trace::SpanPhase to_span_phase(trace::EventKind kind) {
+  switch (kind) {
+    case trace::EventKind::kEnqueue: return trace::SpanPhase::kEnqueue;
+    case trace::EventKind::kDequeue: return trace::SpanPhase::kDequeue;
+    case trace::EventKind::kMark: return trace::SpanPhase::kMark;
+    case trace::EventKind::kDrop: return trace::SpanPhase::kDrop;
+  }
+  return trace::SpanPhase::kEnqueue;
+}
+
 }  // namespace
 
 void Port::trace_event(trace::EventKind kind, const Packet& pkt, std::size_t queue) {
@@ -128,9 +154,23 @@ void Port::trace_event(trace::EventKind kind, const Packet& pkt, std::size_t que
                    static_cast<std::int64_t>(sim_.now()), pkt.id,
                    (static_cast<std::uint64_t>(queue) << 48) | sched_->total_bytes());
   }
-  if (tracer_ == nullptr) return;
-  tracer_->record({sim_.now(), kind, pkt.id, pkt.flow_id, queue,
-                   sched_->total_bytes()});
+  if (tracer_ != nullptr) {
+    tracer_->record({sim_.now(), kind, pkt.id, pkt.flow_id, queue,
+                     sched_->total_bytes()});
+  }
+  if (spans_ != nullptr && spans_->wants(pkt.flow_id)) {
+    trace::SpanRecord span;
+    span.time = sim_.now();
+    span.phase = to_span_phase(kind);
+    span.packet = pkt.id;
+    span.flow = pkt.flow_id;
+    span.node = span_node_;
+    span.queue = queue;
+    span.seq = pkt.seq;
+    span.size_bytes = pkt.size_bytes;
+    span.marked = pkt.ce;
+    spans_->record(span);
+  }
 }
 
 void Port::drop(const Packet& pkt, std::size_t queue, DropReason reason) {
@@ -141,6 +181,7 @@ void Port::drop(const Packet& pkt, std::size_t queue, DropReason reason) {
 }
 
 void Port::handle(Packet pkt) {
+  telemetry::ProfileScope profile(profiler_, kind_handle_);
   const std::size_t q = classifier_(pkt);
   if (sched_->total_bytes() + pkt.size_bytes > buffer_bytes_) {
     drop(pkt, q, DropReason::kPortBudget);
@@ -166,8 +207,13 @@ void Port::handle(Packet pkt) {
   update_ewma(q, pkt.size_bytes);
   if (mark_point_ == ecn::MarkPoint::kEnqueue && pkt.ect && !pkt.ce) {
     // Snapshot includes the arriving packet (see marking.hpp convention).
-    if (marking_->should_mark(snapshot(q, pkt.size_bytes, pkt.size_bytes, 1), pkt,
-                              ecn::MarkPoint::kEnqueue, sim_.now())) {
+    bool mark;
+    {
+      telemetry::ProfileScope ecn_scope(profiler_, kind_should_mark_);
+      mark = marking_->should_mark(snapshot(q, pkt.size_bytes, pkt.size_bytes, 1),
+                                   pkt, ecn::MarkPoint::kEnqueue, sim_.now());
+    }
+    if (mark) {
       pkt.ce = true;
       ++stats_.marked_enqueue;
       ++stats_.marked_per_queue[q];
@@ -175,22 +221,36 @@ void Port::handle(Packet pkt) {
     }
   }
   trace_event(trace::EventKind::kEnqueue, pkt, q);
-  sched_->enqueue(q, std::move(pkt));
+  {
+    telemetry::ProfileScope sched_scope(profiler_, kind_sched_enqueue_);
+    sched_->enqueue(q, std::move(pkt));
+  }
   ++stats_.enqueued_packets;
   try_transmit();
 }
 
 void Port::try_transmit() {
   if (transmitting_ || sched_->empty()) return;
-  auto out = sched_->dequeue(sim_.now());
+  telemetry::ProfileScope profile(profiler_, kind_transmit_);
+  std::optional<sched::Dequeued> out;
+  {
+    telemetry::ProfileScope sched_scope(profiler_, kind_sched_dequeue_);
+    out = sched_->dequeue(sim_.now());
+  }
   if (!out) return;
   ++stats_.dequeued_packets;
   Packet pkt = std::move(out->pkt);
   update_ewma(out->queue, pkt.size_bytes);
   if (mark_point_ == ecn::MarkPoint::kDequeue && pkt.ect && !pkt.ce) {
     // Snapshot includes the departing packet (state before removal).
-    if (marking_->should_mark(snapshot(out->queue, pkt.size_bytes, pkt.size_bytes, 1),
-                              pkt, ecn::MarkPoint::kDequeue, sim_.now())) {
+    bool mark;
+    {
+      telemetry::ProfileScope ecn_scope(profiler_, kind_should_mark_);
+      mark = marking_->should_mark(
+          snapshot(out->queue, pkt.size_bytes, pkt.size_bytes, 1), pkt,
+          ecn::MarkPoint::kDequeue, sim_.now());
+    }
+    if (mark) {
       pkt.ce = true;
       ++stats_.marked_dequeue;
       ++stats_.marked_per_queue[out->queue];

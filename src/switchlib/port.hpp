@@ -20,6 +20,8 @@
 #include "switchlib/buffer_pool.hpp"
 #include "switchlib/occupancy.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "trace/spans.hpp"
 #include "trace/tracer.hpp"
 
 namespace pmsb::switchlib {
@@ -100,6 +102,18 @@ class Port {
   /// must outlive the port.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches a profiler (nullptr to detach): handle() and the transmit
+  /// loop become "port.handle"/"port.transmit" scopes, with nested
+  /// "sched.<name>.enqueue/.dequeue" and "ecn.<scheme>.should_mark" scopes
+  /// so scheduler and marking cost is attributed separately. Kind names are
+  /// interned here; the packet path stays string-free.
+  void set_profiler(telemetry::Profiler* profiler);
+
+  /// Attaches a span tracer recording this port's lifecycle events
+  /// (enqueue/dequeue/mark/drop) for watched flows as `node` (nullptr to
+  /// detach). Same cost contract as set_tracer.
+  void set_span_tracer(trace::SpanTracer* spans, const std::string& node);
+
   /// Feeds this port's canonical events (enqueue/dequeue/mark/drop) into a
   /// run digest as `entity` (nullptr to detach). Same cost contract as
   /// set_tracer: one null check on the packet path when off. The digest
@@ -147,6 +161,14 @@ class Port {
   Classifier classifier_;
   BufferPool* pool_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  trace::SpanTracer* spans_ = nullptr;
+  trace::NodeId span_node_ = trace::kNoNode;
+  telemetry::Profiler* profiler_ = nullptr;
+  telemetry::Profiler::KindId kind_handle_ = 0;
+  telemetry::Profiler::KindId kind_transmit_ = 0;
+  telemetry::Profiler::KindId kind_sched_enqueue_ = 0;
+  telemetry::Profiler::KindId kind_sched_dequeue_ = 0;
+  telemetry::Profiler::KindId kind_should_mark_ = 0;
   regress::RunDigest* digest_ = nullptr;
   regress::EntityId digest_entity_ = 0;
   bool transmitting_ = false;

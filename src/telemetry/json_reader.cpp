@@ -1,5 +1,6 @@
 #include "telemetry/json_reader.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace pmsb::telemetry::json {
@@ -250,5 +251,84 @@ const Value& Value::at(const std::string& key) const {
 }
 
 Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_value(std::string& out, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      if (!v.raw_number.empty()) {
+        out += v.raw_number;
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+        out += buf;
+      }
+      break;
+    case Value::Kind::kString:
+      append_escaped(out, v.string);
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        append_value(out, e);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, k);
+        out += ':';
+        append_value(out, e);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const Value& value) {
+  std::string out;
+  append_value(out, value);
+  return out;
+}
 
 }  // namespace pmsb::telemetry::json

@@ -65,6 +65,18 @@ ManifestData parse_run_manifest(const std::string& text, const std::string& orig
     if (!v->is_number()) fail(origin, "peak_rss_bytes is not a number");
     out.peak_rss_bytes = v->number;
   }
+  if (const json::Value* v = root.find("utime_s")) {
+    if (!v->is_number()) fail(origin, "utime_s is not a number");
+    out.utime_s = v->number;
+  }
+  if (const json::Value* v = root.find("stime_s")) {
+    if (!v->is_number()) fail(origin, "stime_s is not a number");
+    out.stime_s = v->number;
+  }
+  if (const json::Value* v = root.find("major_page_faults")) {
+    if (!v->is_number()) fail(origin, "major_page_faults is not a number");
+    out.major_page_faults = v->number;
+  }
   out.config = string_map(root, "config", origin);
   out.info = string_map(root, "info", origin);
   if (const json::Value* results = root.find("results")) {

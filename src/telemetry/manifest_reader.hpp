@@ -22,6 +22,9 @@ struct ManifestData {
   double wall_clock_s = 0.0;
   double sim_time_us = 0.0;
   double peak_rss_bytes = 0.0;  ///< 0 when the writer predates the field
+  double utime_s = 0.0;         ///< user CPU seconds (0 = unknown/old writer)
+  double stime_s = 0.0;         ///< system CPU seconds
+  double major_page_faults = 0.0;
   std::map<std::string, std::string> config;
   std::map<std::string, std::string> info;
   std::map<std::string, double> results;

@@ -4,6 +4,10 @@
 #include <fstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace pmsb::telemetry {
 
 std::uint64_t peak_rss_bytes() {
@@ -19,6 +23,21 @@ std::uint64_t peak_rss_bytes() {
   }
 #endif
   return 0;
+}
+
+ProcessUsage process_usage() {
+  ProcessUsage usage;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.utime_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                    static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    usage.stime_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                    static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    usage.major_page_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+  }
+#endif
+  return usage;
 }
 
 }  // namespace pmsb::telemetry

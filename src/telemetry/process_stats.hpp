@@ -12,4 +12,14 @@ namespace pmsb::telemetry {
 /// Peak resident set size of this process in bytes, or 0 when unavailable.
 [[nodiscard]] std::uint64_t peak_rss_bytes();
 
+/// CPU-time and paging figures from getrusage(RUSAGE_SELF). All zero on
+/// platforms without getrusage — callers treat zeros as "unknown".
+struct ProcessUsage {
+  double utime_s = 0.0;              ///< user CPU seconds
+  double stime_s = 0.0;              ///< system CPU seconds
+  std::uint64_t major_page_faults = 0;  ///< faults that hit backing store
+};
+
+[[nodiscard]] ProcessUsage process_usage();
+
 }  // namespace pmsb::telemetry

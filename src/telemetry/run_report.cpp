@@ -136,6 +136,12 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+  before_value();
+  out_ += json;
+  return *this;
+}
+
 RunManifest::RunManifest(std::string tool)
     : tool_(std::move(tool)), wall_start_ns_(wall_now_ns()) {}
 
@@ -151,6 +157,14 @@ std::string RunManifest::to_json(const MetricsRegistry* registry) const {
   w.key("wall_clock_s").value(wall_s);
   w.key("sim_time_us").value(sim_time_us_);
   w.key("peak_rss_bytes").value(peak_rss_bytes());
+  const ProcessUsage usage = process_usage();
+  w.key("utime_s").value(usage.utime_s);
+  w.key("stime_s").value(usage.stime_s);
+  w.key("major_page_faults").value(usage.major_page_faults);
+
+  if (!profile_json_.empty()) {
+    w.key("profile").raw_value(profile_json_);
+  }
 
   w.key("config").begin_object();
   for (const auto& [k, v] : config_) w.key(k).value(v);

@@ -13,6 +13,8 @@
 //     "schema": "pmsb.run_manifest/1",
 //     "tool": "...", "git": "...", "seed": N,
 //     "wall_clock_s": W, "sim_time_us": T, "peak_rss_bytes": R,
+//     "utime_s": U, "stime_s": S, "major_page_faults": F,
+//     "profile": { ... pmsb.profile/1, only when set_profile_json() ... },
 //     "config":  { "key": "value", ... },
 //     "info":    { "key": "value", ... },
 //     "results": { "key": number, ... },
@@ -49,6 +51,10 @@ class JsonWriter {
   JsonWriter& value(std::uint64_t v);
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(bool v);
+  /// Splices a pre-serialized JSON document in value position, verbatim.
+  /// The caller vouches that `json` is well-formed (used to embed a
+  /// pmsb.profile/1 document inside a manifest without re-parsing it).
+  JsonWriter& raw_value(const std::string& json);
 
   [[nodiscard]] const std::string& str() const { return out_; }
 
@@ -83,6 +89,9 @@ class RunManifest {
   /// Scalar results (FCT means/percentiles, throughputs, ...).
   void set_result(const std::string& key, double value) { results_[key] = value; }
   void set_sim_time_us(double t) { sim_time_us_ = t; }
+  /// Embeds a pre-serialized pmsb.profile/1 document under a top-level
+  /// "profile" key (empty string = no profile section).
+  void set_profile_json(std::string json) { profile_json_ = std::move(json); }
 
   /// Serializes the manifest; `registry` may be null (no metrics section).
   [[nodiscard]] std::string to_json(const MetricsRegistry* registry) const;
@@ -97,6 +106,7 @@ class RunManifest {
   std::map<std::string, std::string> config_;
   std::map<std::string, std::string> info_;
   std::map<std::string, double> results_;
+  std::string profile_json_;
   std::int64_t wall_start_ns_;
 };
 

@@ -1,6 +1,7 @@
 #include "telemetry/sampler.hpp"
 
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +13,8 @@ TimeSeriesSampler::TimeSeriesSampler(sim::Simulator& simulator, sim::TimeNs peri
     throw std::invalid_argument("TimeSeriesSampler: period must be positive");
   }
 }
+
+TimeSeriesSampler::~TimeSeriesSampler() = default;
 
 void TimeSeriesSampler::add_probe(std::string name, std::function<double()> fn) {
   if (running_) throw std::logic_error("TimeSeriesSampler: add column after start()");
@@ -57,6 +60,16 @@ void TimeSeriesSampler::stop() {
   pending_ = sim::kInvalidEventId;
 }
 
+void TimeSeriesSampler::stream_to(const std::string& path) {
+  if (running_) throw std::logic_error("TimeSeriesSampler: stream_to after start()");
+  auto out = std::make_unique<std::ofstream>(path);
+  if (!*out) {
+    throw std::runtime_error("TimeSeriesSampler::stream_to: cannot open " + path);
+  }
+  stream_ = std::move(out);
+  stream_header_written_ = false;
+}
+
 void TimeSeriesSampler::sample() {
   if (!running_) return;
   times_us_.push_back(sim::to_microseconds(sim_.now()));
@@ -71,6 +84,19 @@ void TimeSeriesSampler::sample() {
       c.prev = cur;
     }
     c.data.push_back(v);
+  }
+  if (stream_) {
+    if (!stream_header_written_) {
+      *stream_ << "time_us";
+      for (const Column& c : cols_) *stream_ << ',' << c.name;
+      *stream_ << '\n';
+      stream_header_written_ = true;
+    }
+    *stream_ << times_us_.back();
+    for (const Column& c : cols_) *stream_ << ',' << c.data.back();
+    // Flush each row: a watchdog abort unwinds through the event loop and
+    // must not take the tail of the series with it.
+    *stream_ << '\n' << std::flush;
   }
   pending_ = sim_.schedule_in(period_, [this] { sample(); });
 }

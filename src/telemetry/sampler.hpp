@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@ namespace pmsb::telemetry {
 class TimeSeriesSampler {
  public:
   TimeSeriesSampler(sim::Simulator& simulator, sim::TimeNs period);
+  ~TimeSeriesSampler();  // out-of-line: stream_ needs the full ofstream type
   TimeSeriesSampler(const TimeSeriesSampler&) = delete;
   TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
 
@@ -64,6 +67,15 @@ class TimeSeriesSampler {
   /// Columnar CSV: `time_us,<col0>,<col1>,...` one row per sample.
   void write_csv(const std::string& path) const;
 
+  /// Streams rows to `path` as they are sampled: the header goes out with
+  /// the first row and every row is flushed immediately, so the CSV holds
+  /// all completed samples even when the run is killed mid-flight by a
+  /// watchdog/deadline abort (write_csv would lose the whole series to the
+  /// exception unwind). Call before start(); in-memory columns still fill,
+  /// so write_csv() to a different path remains valid.
+  void stream_to(const std::string& path);
+  [[nodiscard]] bool streaming() const { return stream_ != nullptr; }
+
  private:
   struct Column {
     std::string name;
@@ -81,6 +93,8 @@ class TimeSeriesSampler {
   sim::EventId pending_ = sim::kInvalidEventId;
   std::vector<double> times_us_;
   std::vector<Column> cols_;
+  std::unique_ptr<std::ofstream> stream_;  // non-null once stream_to() is set
+  bool stream_header_written_ = false;
 };
 
 }  // namespace pmsb::telemetry

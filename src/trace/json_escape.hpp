@@ -1,0 +1,38 @@
+// JSON string escaping for the trace exporters' NDJSON writers.
+//
+// Same escape set as telemetry::JsonWriter (", \, \n, \r, \t, \u00XX for
+// other control bytes) so every JSON-ish artifact the repo writes survives
+// the same readers. Node names come from scenario code today, but the
+// writers must not silently corrupt output the day someone names a host
+// "rack\"3" or embeds a tab.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace pmsb::trace {
+
+[[nodiscard]] inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pmsb::trace

@@ -51,6 +51,18 @@ void DctcpSender::bind_metrics(telemetry::MetricsRegistry& registry,
   registry.gauge_fn("transport.alpha", labels, [this] { return alpha_; }, "fraction");
 }
 
+void DctcpSender::set_profiler(telemetry::Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ == nullptr) return;
+  kind_send_ = profiler_->intern("transport.send");
+  kind_ack_ = profiler_->intern("transport.ack");
+}
+
+void DctcpSender::set_span_tracer(trace::SpanTracer* spans, const std::string& node) {
+  spans_ = spans;
+  span_node_ = spans != nullptr ? spans->intern_node(node) : trace::kNoNode;
+}
+
 void DctcpSender::start(TimeNs at) {
   if (started_) return;
   started_ = true;
@@ -66,6 +78,7 @@ std::uint64_t DctcpSender::remaining_at(std::uint64_t seq) const {
 }
 
 void DctcpSender::send_segment(std::uint64_t seq, bool is_retransmit) {
+  telemetry::ProfileScope profile(profiler_, kind_send_);
   const std::uint32_t payload =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(cfg_.mss, remaining_at(seq)));
   assert(payload > 0);
@@ -83,6 +96,18 @@ void DctcpSender::send_segment(std::uint64_t seq, bool is_retransmit) {
   if (digest_ != nullptr) {
     digest_->event(digest_entity_, regress::EventKind::kSend,
                    static_cast<std::int64_t>(sim_.now()), pkt.id, seq);
+  }
+  if (spans_ != nullptr && spans_->wants(flow_)) {
+    trace::SpanRecord span;
+    span.time = sim_.now();
+    span.phase = trace::SpanPhase::kSend;
+    span.packet = pkt.id;
+    span.flow = flow_;
+    span.node = span_node_;
+    span.seq = seq;
+    span.size_bytes = pkt.size_bytes;
+    span.retransmit = is_retransmit || seq < snd_max_;
+    spans_->record(span);
   }
   local_.send(std::move(pkt));
   ++stats_.segments_sent;
@@ -165,6 +190,19 @@ void DctcpSender::maybe_cut_on_mark() {
 
 void DctcpSender::on_ack(const Packet& ack) {
   if (completed_) return;
+  telemetry::ProfileScope profile(profiler_, kind_ack_);
+  if (spans_ != nullptr && spans_->wants(flow_)) {
+    trace::SpanRecord span;
+    span.time = sim_.now();
+    span.phase = trace::SpanPhase::kAck;
+    span.packet = ack.id;
+    span.flow = flow_;
+    span.node = span_node_;
+    span.seq = ack.ack;
+    span.size_bytes = ack.size_bytes;
+    span.marked = ack.ece;
+    spans_->record(span);
+  }
   ++stats_.acks_received;
   {
     // Receivers echo the data packet's send timestamp in every ACK.

@@ -27,6 +27,8 @@
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "trace/spans.hpp"
 #include "transport/rtt_estimator.hpp"
 
 namespace pmsb::transport {
@@ -134,6 +136,15 @@ class DctcpSender {
   void bind_metrics(telemetry::MetricsRegistry& registry,
                     const telemetry::Labels& labels);
 
+  /// Attaches a profiler (nullptr to detach): segment transmission and ACK
+  /// processing become "transport.send" / "transport.ack" scopes.
+  void set_profiler(telemetry::Profiler* profiler);
+
+  /// Attaches a span tracer recording kSend (with the retransmit flag) per
+  /// segment and kAck per processed ACK as `node` when this flow is watched
+  /// (nullptr to detach). Same cost contract as set_digest.
+  void set_span_tracer(trace::SpanTracer* spans, const std::string& node);
+
   // --- Introspection ---
   [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
   [[nodiscard]] double alpha() const { return alpha_; }
@@ -217,6 +228,11 @@ class DctcpSender {
   std::function<void(TimeNs)> rtt_observer_;
   regress::RunDigest* digest_ = nullptr;
   regress::EntityId digest_entity_ = 0;
+  trace::SpanTracer* spans_ = nullptr;
+  trace::NodeId span_node_ = trace::kNoNode;
+  telemetry::Profiler* profiler_ = nullptr;
+  telemetry::Profiler::KindId kind_send_ = 0;
+  telemetry::Profiler::KindId kind_ack_ = 0;
 };
 
 /// Receiver: cumulative ACKs with out-of-order reassembly and exact ECN

@@ -89,3 +89,38 @@ TEST(Options, MissingConfigFileThrows) {
   std::vector<const char*> argv2 = {"prog", "--config"};
   EXPECT_THROW(Options::from_args(2, argv2.data()), std::invalid_argument);
 }
+
+TEST(Options, ValidateKeysAcceptsKnownKeys) {
+  const auto o = parse({"scheme=pmsb", "load=0.9"});
+  EXPECT_NO_THROW(o.validate_keys({"scheme", "load", "flows"}));
+}
+
+TEST(Options, ValidateKeysSuggestsNearMiss) {
+  const auto o = parse({"trace_flow=1"});
+  try {
+    o.validate_keys({"trace_flows", "profile"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown option 'trace_flow'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'trace_flows'?"), std::string::npos) << msg;
+  }
+}
+
+TEST(Options, ValidateKeysOmitsSuggestionWhenNothingIsClose) {
+  const auto o = parse({"zzzzqqqq=1"});
+  try {
+    o.validate_keys({"scheme", "load"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown option 'zzzzqqqq'"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+  }
+}
+
+TEST(Options, ClosestKeyRanksByEditDistance) {
+  EXPECT_EQ(Options::closest_key("scheme", {"scheme", "schema"}), "scheme");
+  EXPECT_EQ(Options::closest_key("sceme", {"scheme", "load"}), "scheme");
+  EXPECT_EQ(Options::closest_key("xyzzy", {"scheme", "load"}), "");
+}

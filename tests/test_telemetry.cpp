@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -676,4 +678,64 @@ TEST(ManifestReader, RejectsMissingFileAndBadShapes) {
   EXPECT_EQ(minimal.schema, "pmsb.run_manifest/1");
   EXPECT_TRUE(minimal.config.empty());
   EXPECT_TRUE(minimal.results.empty());
+}
+
+TEST(TimeSeriesSampler, StreamToWritesRowsIncrementally) {
+  sim::Simulator simulator;
+  TimeSeriesSampler sampler(simulator, sim::microseconds(100));
+  double v = 1.0;
+  sampler.add_probe("v", [&v] { return v++; });
+  const std::string path = std::string(::testing::TempDir()) + "/stream.csv";
+  sampler.stream_to(path);
+  EXPECT_TRUE(sampler.streaming());
+  sampler.start();
+  simulator.run(sim::microseconds(250));
+
+  // Rows land on disk as they are sampled — no stop()/write_csv() needed.
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // header + samples at 0, 100, 200 us
+  EXPECT_EQ(lines[0], "time_us,v");
+  EXPECT_EQ(lines[1], "0,1");
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, StreamedRowsSurviveAnAbortedRun) {
+  // The watchdog/deadline story: an exception unwinding out of the event
+  // loop must not take the sampled series with it.
+  sim::Simulator simulator;
+  TimeSeriesSampler sampler(simulator, sim::microseconds(100));
+  sampler.add_probe("v", [] { return 42.0; });
+  const std::string path = std::string(::testing::TempDir()) + "/abort.csv";
+  sampler.stream_to(path);
+  sampler.start();
+  simulator.schedule_at(sim::microseconds(250),
+                        [] { throw std::runtime_error("watchdog trip"); });
+  EXPECT_THROW(simulator.run(sim::milliseconds(1)), std::runtime_error);
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4u);  // header + samples at 0, 100, 200 us
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, StreamToAfterStartThrows) {
+  sim::Simulator simulator;
+  TimeSeriesSampler sampler(simulator, sim::microseconds(100));
+  sampler.start();
+  EXPECT_THROW(sampler.stream_to("/tmp/nope.csv"), std::logic_error);
+}
+
+TEST(JsonReader, ToJsonRoundTripsSortedDocumentsByteStably) {
+  // Sorted keys, raw number tokens, escapes: the properties pmsb.profile/1
+  // splicing depends on.
+  const std::string doc =
+      "{\"a\":[1,2.5,9223372036854775809],\"b\":{\"nested\":true,"
+      "\"z\":null},\"s\":\"line\\nbreak \\\"q\\\" \\u0001\"}";
+  const auto v = pmsb::telemetry::json::parse(doc);
+  EXPECT_EQ(pmsb::telemetry::json::to_json(v), doc);
 }

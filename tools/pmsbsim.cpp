@@ -10,72 +10,29 @@
 //           sweep="load:0.3,0.5,0.7,0.9;scheme:pmsb,tcn"
 //           sweep_json=/tmp/sweep.json sweep_csv=/tmp/sweep.csv
 //
-// Common keys:
-//   topology   dumbbell | leafspine                (default dumbbell)
-//   scheme     pmsb | pmsbe | mq-ecn | tcn | perport | perqueue-std |
-//              perqueue-frac | red | none          (default pmsb)
-//   scheduler  fifo | sp | wrr | dwrr | wfq | sp+wfq (default dwrr)
-//   queues     number of service queues            (default 2 / 8)
-//   weights    comma list, one per queue           (default all 1)
-//   rtt_us     RTT used in the threshold formulas  (default 18 / 85.2)
-//   mark_point enqueue | dequeue                   (default enqueue)
-// Telemetry keys (both topologies):
-//   metrics_json      path: write a pmsb.run_manifest/1 JSON (config echo,
-//                     seed, git describe, FCT results, every instrument)
-//   timeseries_csv    path: sample per-port occupancy / mark rate into a
-//                     columnar CSV while the run executes
-//   sample_period_us  sampling period for timeseries_csv (default 100)
-//   digest            1: fold the run's canonical event stream into a
-//                     deterministic 128-bit digest, reported as
-//                     info["digest"] (and in the manifest). The regression
-//                     gate (tools/pmsbregress) compares these digests
-//                     against a recorded baseline.
-// Sweep keys (fan a grid of runs across a worker pool; each run is an
-// isolated single-threaded simulator, so per-run results are bit-identical
-// to a serial jobs=1 sweep):
-//   sweep              grid spec "key:v1,v2[;key2:w1,w2]" — cartesian
-//                      product over the remaining (base) options
-//   jobs               worker threads (default 1)
-//   sweep_json         path: aggregated pmsb.sweep_report/1 JSON
-//   sweep_csv          path: one CSV row per run (union of result keys)
-//   sweep_manifest_dir existing dir: per-run pmsb.run_manifest/1 files
-//                      (run_000.json, ..., padded to the grid's width).
-//                      timeseries_csv / fct_csv are ignored inside sweeps
-//                      (the paths would collide).
-//   sweep_resume       1: salvage cells whose manifest in sweep_manifest_dir
-//                      already holds a completed, config-matching run; only
-//                      missing / corrupt / drifted / failed cells re-run.
-//                      The final report is identical to an uninterrupted run.
-//   cell_timeout_s     > 0: per-cell wall-clock budget, enforced from inside
-//                      each cell's event loop. An over-budget cell fails
-//                      alone with a [cell_timeout] diagnostic; the rest of
-//                      the grid proceeds.
-// Robustness keys (see docs/ROBUSTNESS.md):
-//   faults             fault timeline, clauses joined by ';':
-//                      link:A-B:down@T1..T2 | loss:A->B:P | delay:A->B:D[+J]
-//                      | bleach:A:P  (durations take ns/us/ms/s suffixes)
-//   bleach             scalar sugar for sweeps: bleach probability applied
-//                      at every default marking node (dumbbell: the switch;
-//                      leafspine: every spine). Grid values cannot contain
-//                      ':' so the headline bleach sweep uses this key.
-//   bleach_at          comma list of node names overriding the default
-//                      bleach locations
-//   invariants         0 disables runtime invariant checking (default 1)
-//   invariant_period_us  checking cadence (default 100)
-//   watchdog_horizon_ms  abort when no flow progress for this long
-//   watchdog_events      abort when executed events exceed this budget
-//   watchdog_period_us   watchdog sampling cadence (default 100)
-//   A tripped watchdog or a failed invariant makes a single run exit 2 with
-//   the diagnostic on stderr; inside a sweep only that cell fails (exit 1,
-//   diagnostic in the sweep report).
-// Dumbbell keys: flows_per_queue (e.g. "1,8"), duration_ms, link_gbps,
-//                link_delay_us
-// Leaf-spine keys: load, flows, seed, workload (paper-mix | web-search |
-//                data-mining), fct_csv (path to dump per-flow records)
+// The accepted keys live in one place — the kKeys table below, which both
+// generates `--help` and backs validate_keys(), so an unknown or misspelled
+// key is rejected with a "did you mean" suggestion instead of being
+// silently ignored. Behavioural details that don't fit a one-liner:
+//
+// - digest=1 digests are what tools/pmsbregress compares against baselines.
+// - Sweeps fan the grid across a worker pool; each run is an isolated
+//   single-threaded simulator, so per-run results are bit-identical to a
+//   serial jobs=1 sweep. Per-run file outputs (timeseries_csv, fct_csv,
+//   profile_json, spans_ndjson, trace_ndjson) are dropped inside sweeps —
+//   the paths would collide — but profile=1 still lands pmsb.profile/1 in
+//   each cell's manifest under sweep_manifest_dir.
+// - sweep_resume=1 salvages cells whose manifest already holds a completed,
+//   config-matching run; the final report matches an uninterrupted sweep.
+// - A tripped watchdog or failed invariant makes a single run exit 2 with
+//   the diagnostic on stderr; inside a sweep only that cell fails.
+// - Observability outputs (profile_json / spans_ndjson / trace_ndjson) are
+//   consumed offline by tools/pmsbtrace; see docs/OBSERVABILITY.md.
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "experiments/options.hpp"
 #include "sweep/scenario_run.hpp"
@@ -85,6 +42,97 @@ using namespace pmsb;
 using pmsb::experiments::Options;
 
 namespace {
+
+/// Every key pmsbsim accepts, with one-line help. --help prints this table
+/// and validate_keys() rejects anything not in it, so the two cannot drift:
+/// adding a key here is what makes the tool accept it.
+struct KeyHelp {
+  const char* key;
+  const char* help;
+};
+
+constexpr KeyHelp kKeys[] = {
+    // Scenario shape.
+    {"topology", "dumbbell | leafspine (default dumbbell)"},
+    {"scheme", "pmsb | pmsbe | mq-ecn | tcn | perport | perqueue-std | "
+               "perqueue-frac | none (default pmsb)"},
+    {"scheduler", "fifo | sp | wrr | dwrr | wfq | sp+wfq (default dwrr)"},
+    {"queues", "number of service queues (default 2 / 8)"},
+    {"weights", "comma list, one per queue (default all 1)"},
+    {"rtt_us", "RTT used in the threshold formulas (default 18 / 85.2)"},
+    {"mark_point", "enqueue | dequeue (default enqueue)"},
+    {"seed", "workload / fault RNG seed (default 1)"},
+    // Dumbbell-only.
+    {"flows_per_queue", "dumbbell: comma list, e.g. 1,8"},
+    {"duration_ms", "dumbbell: measured run length (default 50)"},
+    {"link_gbps", "dumbbell: link rate (default 10)"},
+    {"link_delay_us", "one-way per-link delay (default 2 / 9)"},
+    // Leaf-spine-only.
+    {"load", "leafspine: offered load fraction (default 0.5)"},
+    {"flows", "leafspine: number of flows (default 300)"},
+    {"workload", "leafspine: paper-mix | web-search | data-mining"},
+    {"max_sim_s", "leafspine: simulated-time cap (default 60)"},
+    {"fct_csv", "leafspine: path for per-flow FCT records"},
+    // Telemetry.
+    {"metrics_json", "path: write a pmsb.run_manifest/1 JSON"},
+    {"timeseries_csv", "path: stream per-port occupancy / mark-rate CSV"},
+    {"sample_period_us", "timeseries sampling period (default 100)"},
+    {"digest", "1: report the run's 128-bit event digest"},
+    // Observability (docs/OBSERVABILITY.md).
+    {"profile", "1: per-event-kind kernel + component profiler; the "
+                "pmsb.profile/1 JSON lands in the run manifest"},
+    {"profile_json", "path: also write the pmsb.profile/1 JSON standalone "
+                     "(implies profile=1)"},
+    {"trace_flows", "comma list of transport flow ids as in fct_csv, "
+                    "1-based (or 'all'): capture packet "
+                    "lifecycle spans for these flows"},
+    {"spans_ndjson", "path: write captured spans as NDJSON (needs "
+                     "trace_flows=); feed to pmsbtrace flow"},
+    {"trace_ndjson", "path: write the trace port's event stream as NDJSON; "
+                     "feed to pmsbtrace port"},
+    // Robustness (docs/ROBUSTNESS.md).
+    {"faults", "fault timeline: link:A-B:down@T1..T2 | loss:A->B:P | "
+               "delay:A->B:D[+J] | bleach:A:P, joined by ';'"},
+    {"bleach", "scalar sugar: bleach probability at the default nodes"},
+    {"bleach_at", "comma list of node names overriding bleach locations"},
+    {"fault_test", "break_invariant: deliberately trip the ledger (tests)"},
+    {"invariants", "0 disables runtime invariant checking (default 1)"},
+    {"invariant_period_us", "invariant checking cadence (default 100)"},
+    {"watchdog_horizon_ms", "abort when no flow progress for this long"},
+    {"watchdog_events", "abort when executed events exceed this budget"},
+    {"watchdog_period_us", "watchdog sampling cadence (default 100)"},
+    {"cell_timeout_s", "> 0: per-run wall-clock budget"},
+    {"cell_timeout_period_us", "deadline check cadence (default 500)"},
+    // Sweeps.
+    {"sweep", "grid spec \"key:v1,v2[;key2:w1,w2]\" — cartesian product"},
+    {"jobs", "sweep worker threads (default 1)"},
+    {"sweep_json", "path: aggregated pmsb.sweep_report/1 JSON"},
+    {"sweep_csv", "path: one CSV row per run"},
+    {"sweep_manifest_dir", "existing dir: per-run manifest files"},
+    {"sweep_resume", "1: salvage completed cells from sweep_manifest_dir"},
+};
+
+void print_usage() {
+  std::printf(
+      "usage: pmsbsim [--config FILE] [key=value ...]\n"
+      "\n"
+      "Examples:\n"
+      "  pmsbsim topology=dumbbell scheduler=dwrr queues=2 weights=1,1 \\\n"
+      "          scheme=pmsb flows_per_queue=1,8 duration_ms=50\n"
+      "  pmsbsim topology=leafspine scheme=tcn load=0.6 flows=400 seed=3\n"
+      "  pmsbsim profile=1 trace_flows=1,2 spans_ndjson=/tmp/spans.ndjson\n"
+      "  pmsbsim topology=leafspine sweep=\"load:0.3,0.5,0.7;scheme:pmsb,tcn\" \\\n"
+      "          jobs=8 sweep_json=/tmp/sweep.json\n"
+      "\n"
+      "Keys:\n");
+  for (const KeyHelp& k : kKeys) std::printf("  %-22s %s\n", k.key, k.help);
+}
+
+std::vector<std::string> allowed_keys() {
+  std::vector<std::string> out;
+  for (const KeyHelp& k : kKeys) out.emplace_back(k.key);
+  return out;
+}
 
 int run_sweep_cli(const Options& opts) {
   const std::string spec = opts.get("sweep");
@@ -147,8 +195,16 @@ int run_sweep_cli(const Options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h" || arg == "help") {
+      print_usage();
+      return 0;
+    }
+  }
   try {
     const Options opts = Options::from_args(argc, argv);
+    opts.validate_keys(allowed_keys());
     if (opts.has("sweep")) return run_sweep_cli(opts);
     sweep::SweepPoint point;
     point.opts = opts;
