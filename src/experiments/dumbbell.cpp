@@ -5,7 +5,8 @@
 
 namespace pmsb::experiments {
 
-DumbbellScenario::DumbbellScenario(const DumbbellConfig& config) : cfg_(config) {
+DumbbellScenario::DumbbellScenario(const DumbbellConfig& config)
+    : cfg_(config), sim_(cfg_.queue) {
   if (cfg_.num_senders == 0) throw std::invalid_argument("dumbbell: need senders");
 
   // Hosts: senders are 0..N-1, the receiver is host N.

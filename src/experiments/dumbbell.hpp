@@ -44,6 +44,9 @@ struct DumbbellConfig {
   ecn::MarkingConfig marking;                     ///< bottleneck port
   std::uint64_t buffer_bytes = 1024ull * 1500ull; ///< bottleneck port buffer
   transport::DctcpConfig transport;               ///< default per-flow config
+  /// Event-queue backend for the kernel (`sched_queue=` at the CLI). Either
+  /// choice produces bit-identical runs; calendar is faster at scale.
+  sim::QueueBackend queue = sim::QueueBackend::kHeap;
 };
 
 struct DumbbellFlowSpec {

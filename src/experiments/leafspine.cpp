@@ -5,7 +5,8 @@
 
 namespace pmsb::experiments {
 
-LeafSpineScenario::LeafSpineScenario(const LeafSpineConfig& config) : cfg_(config) {
+LeafSpineScenario::LeafSpineScenario(const LeafSpineConfig& config)
+    : cfg_(config), sim_(cfg_.queue) {
   const std::size_t n_hosts = num_hosts();
   if (n_hosts < 2) throw std::invalid_argument("leafspine: need >= 2 hosts");
 

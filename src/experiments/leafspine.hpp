@@ -45,6 +45,9 @@ struct LeafSpineConfig {
   ecn::MarkingConfig marking;                     ///< all switch ports
   std::uint64_t buffer_bytes = 1024ull * 1500ull; ///< per port
   transport::DctcpConfig transport;
+  /// Event-queue backend for the kernel (`sched_queue=` at the CLI). Either
+  /// choice produces bit-identical runs; calendar is faster at scale.
+  sim::QueueBackend queue = sim::QueueBackend::kHeap;
 };
 
 class LeafSpineScenario {

@@ -5,7 +5,8 @@
 
 namespace pmsb::experiments {
 
-MultiPortScenario::MultiPortScenario(const MultiPortConfig& config) : cfg_(config) {
+MultiPortScenario::MultiPortScenario(const MultiPortConfig& config)
+    : cfg_(config), sim_(cfg_.queue) {
   if (cfg_.num_senders == 0 || cfg_.num_receivers == 0) {
     throw std::invalid_argument("multiport: need senders and receivers");
   }

@@ -36,6 +36,9 @@ struct MultiPortConfig {
   /// Dynamic Threshold alpha for the pooled ports (0 = static budgets).
   double dt_alpha = 0.0;
   transport::DctcpConfig transport;
+  /// Event-queue backend for the kernel (`sched_queue=` at the CLI). Either
+  /// choice produces bit-identical runs; calendar is faster at scale.
+  sim::QueueBackend queue = sim::QueueBackend::kHeap;
 };
 
 struct MultiPortFlowSpec {

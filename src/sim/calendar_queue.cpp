@@ -1,0 +1,141 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmsb::sim {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() {
+  buckets_.resize(kMinBuckets);
+  mask_ = kMinBuckets - 1;
+}
+
+void CalendarQueue::push(const QueueEntry& e) {
+  // An insert behind the cursor's window would be skipped for a whole year
+  // of scanning; an insert into an empty calendar has no cursor at all.
+  // Both re-anchor the cursor at the new entry's window. (Anchoring at
+  // e.time rather than min(e.time, cur) is safe: the cursor always trails
+  // the true minimum or sits on it, and peek()'s fallback re-anchors.)
+  if (size_ == 0 || e.time < cur_top_ - width()) {
+    set_cursor(e.time);
+  }
+  auto& bucket = buckets_[bucket_of(e.time)];
+  bucket.push_back(e);
+  std::push_heap(bucket.begin(), bucket.end(), EntryLater{});
+  ++size_;
+  if (size_ > 2 * buckets_.size()) rebalance();
+}
+
+const QueueEntry* CalendarQueue::peek() {
+  if (size_ == 0) return nullptr;
+  // Scan at most one full year of windows from the cursor. A bucket's front
+  // qualifies only if it falls inside the current window — an entry a year
+  // (or more) ahead hashes to the same bucket but must not jump the queue.
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto& bucket = buckets_[cur_];
+    if (!bucket.empty() && bucket.front().time < cur_top_) {
+      return &bucket.front();
+    }
+    cur_ = (cur_ + 1) & mask_;
+    cur_top_ += width();
+  }
+  // Nothing within a year of the cursor: the population is sparse relative
+  // to the calendar. Jump straight to the global minimum over bucket fronts.
+  const QueueEntry* best = nullptr;
+  for (const auto& bucket : buckets_) {
+    if (bucket.empty()) continue;
+    if (best == nullptr || EntryLater{}(*best, bucket.front())) {
+      best = &bucket.front();
+    }
+  }
+  assert(best != nullptr);
+  set_cursor(best->time);
+  return best;
+}
+
+QueueEntry CalendarQueue::pop() {
+  [[maybe_unused]] const QueueEntry* top = peek();
+  assert(top != nullptr);
+  auto& bucket = buckets_[cur_];
+  std::pop_heap(bucket.begin(), bucket.end(), EntryLater{});
+  const QueueEntry e = bucket.back();
+  bucket.pop_back();
+  --size_;
+  // Shrink lazily (at 1/8 occupancy, not 1/2): a draining queue crosses
+  // every halving threshold on its way down, and an eager rebalance at each
+  // one costs more in entry moves than the smaller calendar saves.
+  if (size_ < buckets_.size() / 8 && buckets_.size() > kMinBuckets) {
+    rebalance();
+  }
+  return e;
+}
+
+void CalendarQueue::rebalance() {
+  std::vector<QueueEntry> all;
+  all.reserve(size_);
+  for (auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+
+  const std::size_t nbuckets =
+      std::max(kMinBuckets, round_up_pow2(std::max<std::size_t>(size_, 1)));
+  buckets_.resize(nbuckets);
+  mask_ = nbuckets - 1;
+  width_shift_ = estimate_width_shift(all);
+
+  for (const auto& e : all) buckets_[bucket_of(e.time)].push_back(e);
+  for (auto& bucket : buckets_) {
+    std::make_heap(bucket.begin(), bucket.end(), EntryLater{});
+  }
+  if (size_ != 0) {
+    // Re-anchor at the earliest pending entry.
+    const QueueEntry* best = nullptr;
+    for (const auto& bucket : buckets_) {
+      if (!bucket.empty() &&
+          (best == nullptr || EntryLater{}(*best, bucket.front()))) {
+        best = &bucket.front();
+      }
+    }
+    set_cursor(best->time);
+  }
+}
+
+int CalendarQueue::estimate_width_shift(
+    const std::vector<QueueEntry>& all) const {
+  if (all.size() < 2) return width_shift_;
+  // Strided sample of up to 64 timestamps, sorted; the doubled median of the
+  // positive adjacent gaps is the window size. Median, not mean: one distant
+  // watchdog/retransmit timer must not stretch every window.
+  std::vector<TimeNs> sample;
+  sample.reserve(64);
+  const std::size_t stride = std::max<std::size_t>(1, all.size() / 64);
+  for (std::size_t i = 0; i < all.size(); i += stride) {
+    sample.push_back(all[i].time);
+  }
+  std::sort(sample.begin(), sample.end());
+  std::vector<TimeNs> gaps;
+  gaps.reserve(sample.size());
+  for (std::size_t i = 1; i < sample.size(); ++i) {
+    const TimeNs gap = sample[i] - sample[i - 1];
+    if (gap > 0) gaps.push_back(gap);
+  }
+  if (gaps.empty()) return width_shift_;  // all sampled timestamps equal
+  std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+  const TimeNs target = 2 * gaps[gaps.size() / 2];
+  int shift = 0;
+  while ((TimeNs{1} << shift) < target && shift < 62) ++shift;
+  return shift;
+}
+
+}  // namespace pmsb::sim

@@ -1,0 +1,113 @@
+// Calendar-queue backend for the event kernel (Brown, CACM 1988).
+//
+// A calendar queue hashes events into `nbuckets` time windows of `width`
+// nanoseconds each ("days" of a repeating "year" of nbuckets*width ns). A
+// discrete-event simulator's timestamp distribution is dense and mostly
+// near-future, so the bucket holding the next event is almost always the
+// current one and enqueue/dequeue approach O(1) — against O(log n) for a
+// binary heap over the same distribution.
+//
+// Determinism contract (the property pmsbregress digests pin down): each
+// bucket is kept as a min-heap on (time, seq), and the cursor only yields an
+// entry whose timestamp falls inside the current window. Two events with
+// equal timestamps always land in the same bucket, so the global pop order
+// is the exact (time, insertion-sequence) order the heap backend produces.
+//
+// Departures from the classic formulation, chosen for robustness over peak
+// throughput:
+//  - buckets are min-heaps rather than sorted linked lists, so a degenerate
+//    width (every event in one bucket) decays to binary-heap behavior
+//    instead of O(n) scans;
+//  - width is re-estimated at every resize from the median inter-event gap
+//    of a strided sample, which keeps one far-future outlier (a watchdog
+//    tick, a retransmission timer) from blowing up the window size the way
+//    a mean-based estimate would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace pmsb::sim {
+
+class CalendarQueue {
+ public:
+  CalendarQueue();
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  void push(const QueueEntry& e);
+
+  /// The next entry in (time, seq) order, or nullptr when empty. Advances
+  /// the bucket cursor as a side effect; the pointer is invalidated by any
+  /// push/pop/compact.
+  [[nodiscard]] const QueueEntry* peek();
+
+  /// Removes and returns the entry peek() reports. Undefined when empty.
+  QueueEntry pop();
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Drops every entry for which `keep` returns false, re-heapifies each
+  /// bucket, and rebalances the calendar to the surviving population.
+  template <typename Keep>
+  void compact(Keep keep) {
+    for (auto& bucket : buckets_) {
+      bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                  [&](const QueueEntry& e) { return !keep(e); }),
+                   bucket.end());
+      std::make_heap(bucket.begin(), bucket.end(), EntryLater{});
+    }
+    size_ = 0;
+    for (const auto& bucket : buckets_) size_ += bucket.size();
+    rebalance();
+  }
+
+  // --- Introspection (tests / tuning) ---
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] TimeNs bucket_width() const { return width(); }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;  // power of two
+
+  [[nodiscard]] std::size_t bucket_of(TimeNs t) const {
+    return static_cast<std::size_t>(t >> width_shift_) & mask_;
+  }
+
+  /// Points the cursor at the window containing time `t`. Computed in
+  /// unsigned arithmetic: for t near kTimeNever the window top wraps
+  /// negative, which only degrades peek() to its global-scan fallback —
+  /// signed overflow would be UB.
+  void set_cursor(TimeNs t) {
+    cur_ = bucket_of(t);
+    cur_top_ = static_cast<TimeNs>(
+        ((static_cast<std::uint64_t>(t) >> width_shift_) + 1)
+        << width_shift_);
+  }
+
+  /// Rebuilds the calendar with a bucket count fitted to `size_` and a
+  /// fresh width estimate. Also what grow/shrink resizing funnels through.
+  void rebalance();
+
+  /// Median positive inter-event gap of a strided sample, doubled and
+  /// rounded up to a power of two (so bucket_of is a shift, not a 64-bit
+  /// divide) — a window size that keeps a handful of events per bucket for
+  /// the observed spacing. Returns the log2 of the width. Falls back to the
+  /// previous width when there is nothing to sample (fewer than two
+  /// distinct timestamps).
+  [[nodiscard]] int estimate_width_shift(
+      const std::vector<QueueEntry>& all) const;
+
+  [[nodiscard]] TimeNs width() const { return TimeNs{1} << width_shift_; }
+
+  std::vector<std::vector<QueueEntry>> buckets_;
+  std::size_t mask_ = 0;       ///< buckets_.size() - 1 (power of two)
+  int width_shift_ = 10;       ///< log2 of ns per bucket window
+  std::size_t size_ = 0;
+  std::size_t cur_ = 0;        ///< cursor: bucket being drained
+  TimeNs cur_top_ = 0;         ///< exclusive upper time bound of cur_'s window
+};
+
+}  // namespace pmsb::sim

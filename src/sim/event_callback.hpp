@@ -1,0 +1,138 @@
+// Typed, small-buffer-optimized event callback for the kernel hot path.
+//
+// The kernel used to store `std::function<void()>` per event, which heap-
+// allocates for any capture larger than the (implementation-defined) SBO and
+// costs a type-erased copy per heap sift. EventCallback replaces it with a
+// fixed 48-byte inline buffer sized for every scheduling call site in the
+// tree (the common captures are `this` plus a couple of scalars); a callable
+// that does not fit — or whose move constructor may throw — is boxed on the
+// heap, so nothing is ever rejected, only de-optimized. Move/invoke/destroy
+// go through a per-type static vtable (three function pointers), and moves
+// of an inline callable relocate at most kInlineBytes.
+//
+// EventCallback is move-only: an event's closure has exactly one owner (its
+// pool slot, then the dispatching stack frame), so copies would only hide
+// accidental duplication of captured state.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pmsb::sim {
+
+class EventCallback {
+ public:
+  /// Inline capture budget. Sized so every scheduling call site in the tree
+  /// (pointer + a few scalars, a std::function, a weak_ptr + small payload)
+  /// stays allocation-free; bigger captures fall back to a heap box.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventCallback>,
+                             int> = 0>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  /// Destroys the current callable (if any) and stores `fn` in place.
+  template <typename F>
+  void emplace(F&& fn) {
+    reset();
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      vt_ = &kInlineVt<D>;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(buf_)) =
+          new D(std::forward<F>(fn));
+      vt_ = &kBoxedVt<D>;
+    }
+  }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  /// Destroys the held callable (releasing everything it captured) and
+  /// leaves the callback empty. Safe on an already-empty callback.
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<D*>(p))(); }
+    static void relocate(void* dst, void* src) {
+      D* s = static_cast<D*>(src);
+      ::new (dst) D(std::move(*s));
+      s->~D();
+    }
+    static void destroy(void* p) { static_cast<D*>(p)->~D(); }
+  };
+
+  template <typename D>
+  struct BoxedOps {
+    static void invoke(void* p) { (**static_cast<D**>(p))(); }
+    static void relocate(void* dst, void* src) {
+      std::memcpy(dst, src, sizeof(D*));
+    }
+    static void destroy(void* p) { delete *static_cast<D**>(p); }
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVt{&InlineOps<D>::invoke,
+                                    &InlineOps<D>::relocate,
+                                    &InlineOps<D>::destroy};
+  template <typename D>
+  static constexpr VTable kBoxedVt{&BoxedOps<D>::invoke,
+                                   &BoxedOps<D>::relocate,
+                                   &BoxedOps<D>::destroy};
+
+  void move_from(EventCallback& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace pmsb::sim

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <stdexcept>
 
 #ifdef PMSB_PROFILE_DISPATCH
 #include <chrono>
@@ -10,79 +9,125 @@
 
 namespace pmsb::sim {
 
-EventId Simulator::schedule_at(TimeNs t, Callback fn) {
-  if (t < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time is in the past");
-  }
-  const EventId id = next_id_++;
-  heap_.push(Event{t, id, std::move(fn)});
-  pending_.insert(id);
-  ++live_events_;
-  max_heap_depth_ = std::max(max_heap_depth_, heap_.size());
-  if (hook_ != nullptr) hook_->on_schedule();
-  return id;
-}
+namespace {
 
-void Simulator::cancel(EventId id) {
-  // Only ids that are still pending may be cancelled: an already-fired id
-  // is no longer live (decrementing live_events_ would corrupt the count)
-  // and will never be popped again (its cancelled_ tombstone would leak).
-  const auto it = pending_.find(id);
-  if (it == pending_.end()) return;
-  pending_.erase(it);
-  cancelled_.insert(id);
-  assert(live_events_ > 0);
-  --live_events_;
-  ++cancelled_events_;
-  if (hook_ != nullptr) hook_->on_cancel();
-}
+// Balances hook_->begin_dispatch() even when the event callback throws —
+// faults::Deadline legitimately throws DeadlineExceeded through dispatch,
+// and an attached Profiler must not be left with an open scope.
+class EndDispatchGuard {
+ public:
+  explicit EndDispatchGuard(DispatchHook* hook) : hook_(hook) {}
+  EndDispatchGuard(const EndDispatchGuard&) = delete;
+  EndDispatchGuard& operator=(const EndDispatchGuard&) = delete;
+  ~EndDispatchGuard() { hook_->end_dispatch(); }
+
+ private:
+  DispatchHook* hook_;
+};
+
+#ifdef PMSB_PROFILE_DISPATCH
+// Accumulates callback wall time on scope exit, including exceptional exit,
+// so dispatch_wall_ns stays meaningful when a deadline aborts a run.
+class DispatchTimer {
+ public:
+  explicit DispatchTimer(std::uint64_t& acc)
+      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+  DispatchTimer(const DispatchTimer&) = delete;
+  DispatchTimer& operator=(const DispatchTimer&) = delete;
+  ~DispatchTimer() {
+    acc_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+ private:
+  std::uint64_t& acc_;
+  std::chrono::steady_clock::time_point t0_;
+};
+#endif
+
+}  // namespace
 
 bool Simulator::step(TimeNs until) {
-  while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      heap_.pop();
+  for (;;) {
+    const QueueEntry* top = backend_ == QueueBackend::kHeap
+                                ? heap_.peek()
+                                : calendar_.peek();
+    if (top == nullptr) return false;
+    if (pool_.slot(top->slot).seq != top->seq) {
+      // Tombstone: the event was cancelled (or its slot reused after a
+      // purge race — impossible here, but the check subsumes it). Discard.
+      if (backend_ == QueueBackend::kHeap) {
+        heap_.pop();
+      } else {
+        calendar_.pop();
+      }
+      assert(stale_entries_ > 0);
+      --stale_entries_;
       continue;
     }
-    if (top.time > until) {
+    if (top->time > until) {
       now_ = std::max(now_, until);
       return false;
     }
-    // Move the callback out before popping so re-entrant schedules are safe.
-    Event ev = std::move(const_cast<Event&>(top));
-    heap_.pop();
-    pending_.erase(ev.id);
+    const QueueEntry e =
+        backend_ == QueueBackend::kHeap ? heap_.pop() : calendar_.pop();
+    // Move the callback out and release the slot BEFORE invoking, so
+    // re-entrant schedules (which may reuse this very slot) and cancels of
+    // this event's own handle from inside the callback are both safe.
+    EventCallback fn = std::move(pool_.slot(e.slot).fn);
+    pool_.release(e.slot);
     assert(live_events_ > 0);
     --live_events_;
-    const TimeNs delta = ev.time - now_;
-    now_ = ev.time;
+    const TimeNs delta = e.time - now_;
+    now_ = e.time;
     ++executed_events_;
     if (hook_ != nullptr) {
       hook_->begin_dispatch(now_, delta);
-      ev.fn();
-      hook_->end_dispatch();
+      EndDispatchGuard guard{hook_};
+      fn();
       return true;
     }
 #ifdef PMSB_PROFILE_DISPATCH
-    const auto t0 = std::chrono::steady_clock::now();
-    ev.fn();
-    dispatch_wall_ns_ += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
+    {
+      DispatchTimer timer{dispatch_wall_ns_};
+      fn();
+    }
 #else
-    ev.fn();
+    fn();
 #endif
     return true;
   }
-  return false;
 }
 
 void Simulator::run(TimeNs until) {
   stop_requested_ = false;
   while (!stop_requested_ && step(until)) {
   }
+  // Drain exit also lands on the horizon: whether the queue emptied before
+  // `until` or events remain past it, back-to-back run(t1); run(t2) callers
+  // observe now() == t1 in between. stop() exits don't clamp — time stays
+  // at the event that requested the stop.
+  if (!stop_requested_ && until != kTimeNever && live_events_ == 0 &&
+      now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::maybe_compact() {
+  const std::size_t depth = queue_depth();
+  if (depth < kCompactMinDepth || stale_entries_ * 2 <= depth) return;
+  const auto keep = [this](const QueueEntry& e) {
+    return pool_.slot(e.slot).seq == e.seq;
+  };
+  if (backend_ == QueueBackend::kHeap) {
+    heap_.compact(keep);
+  } else {
+    calendar_.compact(keep);
+  }
+  stale_entries_ = 0;
+  ++queue_compactions_;
 }
 
 }  // namespace pmsb::sim

@@ -316,6 +316,7 @@ void report_digest(const regress::RunDigest* digest, RunRecord& rec,
 void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
                   RunRecord& rec) {
   DumbbellConfig cfg;
+  cfg.queue = sim::parse_queue_backend(opts.get("sched_queue", "heap"));
   const auto queues = static_cast<std::size_t>(opts.get_int("queues", 2));
   cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
   cfg.scheduler.num_queues = queues;
@@ -435,6 +436,7 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
 void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
                    RunRecord& rec) {
   LeafSpineConfig cfg;
+  cfg.queue = sim::parse_queue_backend(opts.get("sched_queue", "heap"));
   cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 9.0));
   cfg.scheduler.kind = sched::parse_scheduler_kind(opts.get("scheduler", "dwrr"));
   const auto queues = static_cast<std::size_t>(opts.get_int("queues", 8));

@@ -100,6 +100,11 @@ std::string Profiler::to_json() const {
       .value(static_cast<std::uint64_t>(sim_ != nullptr ? sim_->max_heap_depth() : 0));
   w.key("packet_ids_allocated")
       .value(sim_ != nullptr ? sim_->packet_ids_allocated() : 0);
+  w.key("queue_backend")
+      .value(sim_ != nullptr ? sim::queue_backend_name(sim_->queue_backend())
+                             : "heap");
+  w.key("queue_compactions")
+      .value(sim_ != nullptr ? sim_->queue_compactions() : 0);
   w.key("sim_delta_ns").begin_object();
   w.key("buckets").begin_array();
   for (std::size_t i = 0; i < sim_delta_ns_.num_buckets(); ++i) {

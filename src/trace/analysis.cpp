@@ -316,6 +316,15 @@ ProfileDoc parse_profile(const std::string& text, const std::string& origin) {
   out.events_cancelled = u64_field(*kernel, "events_cancelled", origin);
   out.max_heap_depth = u64_field(*kernel, "max_heap_depth", origin);
   out.packet_ids_allocated = u64_field(*kernel, "packet_ids_allocated", origin);
+  // Backend fields arrived with the sched_queue knob; older documents lack
+  // them, so both parse as optional.
+  if (const json::Value* qb = kernel->find("queue_backend")) {
+    if (!qb->is_string()) fail(origin, "queue_backend is not a string");
+    out.queue_backend = qb->string;
+  }
+  if (kernel->find("queue_compactions") != nullptr) {
+    out.queue_compactions = u64_field(*kernel, "queue_compactions", origin);
+  }
   if (const json::Value* scopes = doc->find("scopes")) {
     if (!scopes->is_array()) fail(origin, "scopes is not an array");
     for (const json::Value& s : scopes->array) {

@@ -122,6 +122,10 @@ struct ProfileDoc {
   std::uint64_t events_cancelled = 0;
   std::uint64_t max_heap_depth = 0;
   std::uint64_t packet_ids_allocated = 0;
+  /// Event-queue backend the run used ("heap" when absent — documents
+  /// written before the backend knob existed predate the field).
+  std::string queue_backend = "heap";
+  std::uint64_t queue_compactions = 0;  ///< 0 when absent (older documents)
   std::vector<ProfileScopeEntry> scopes;  ///< file order (sorted by name)
 };
 

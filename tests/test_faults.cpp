@@ -406,6 +406,28 @@ TEST(ScenarioRobustness, BrokenInvariantFailsCellInIsolationWithDiagnostic) {
   EXPECT_NE(report.find("\"failed\":1"), std::string::npos);
 }
 
+TEST(ScenarioRobustness, DeadlineWithProfilerAttachedFailsCleanly) {
+  // Regression: DeadlineExceeded unwinds out of an event callback, and with
+  // profile=1 the kernel used to skip the profiler's end_dispatch on that
+  // path — the next profiled run would then throw on the unbalanced scope
+  // instead of reporting the timeout. The combination must fail with the
+  // deadline diagnostic, nothing else.
+  sweep::SweepPoint point;
+  point.opts = dumbbell_opts();
+  point.opts.set("profile", "1");
+  point.opts.set("cell_timeout_s", "1e-9");  // trips at the first tick
+
+  const auto records = sweep::run_sweep({point}, {});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_NE(records[0].error.find("[cell_timeout]"), std::string::npos)
+      << records[0].error;
+  EXPECT_NE(records[0].error.find("phase=run"), std::string::npos)
+      << records[0].error;
+  ASSERT_EQ(records[0].info.count("failed_phase"), 1u);
+  EXPECT_EQ(records[0].info.at("failed_phase"), "run");
+}
+
 TEST(ScenarioRobustness, StalledRunTripsWatchdogWithForensics) {
   sweep::SweepPoint point;
   point.opts = dumbbell_opts();

@@ -150,6 +150,50 @@ TEST(Profiler, ProfileJsonRoundTripsByteStablyThroughJsonReader) {
   EXPECT_EQ(v.at("scopes").array.size(), 1u);
 }
 
+TEST(Profiler, StaysBalancedWhenDispatchThrows) {
+  // Regression for the unwind path: the kernel must call end_dispatch even
+  // when the callback throws, or the profiler's begin/end pairing breaks and
+  // every later scope misattributes its parent.
+  sim::Simulator sim;
+  Profiler p;
+  p.attach(sim);
+  sim.schedule_at(1'000, [] {
+    spin_for(std::chrono::microseconds(200));
+    throw std::runtime_error("mid-dispatch failure");
+  });
+  sim.schedule_at(2'000, [] {});
+  EXPECT_THROW(sim.run(), std::runtime_error);
+  // end_dispatch provably ran: the dispatch was counted and its wall time
+  // (including the spin before the throw) was accumulated.
+  EXPECT_EQ(p.dispatches(), 1u);
+  EXPECT_GE(p.dispatch_wall_ns(), 100'000u);
+  // The profiler is still coherent: the survivor dispatches and counts.
+  sim.run();
+  EXPECT_EQ(p.dispatches(), 2u);
+  EXPECT_EQ(p.sim_delta_ns().count(), 2u);
+  const auto v = telemetry::json::parse(p.to_json());
+  EXPECT_EQ(v.at("kernel").at("dispatches").number, 2.0);
+}
+
+TEST(Profiler, ReportsQueueBackendAndCompactions) {
+  sim::Simulator sim(sim::QueueBackend::kCalendar);
+  Profiler p;
+  p.attach(sim);
+  // Cancel-heavy churn deep enough to trip the tombstone compactor.
+  sim::EventId timer = sim.schedule_at(1'000'000, [] {});
+  for (int i = 1; i <= 500; ++i) {
+    sim.cancel(timer);
+    timer = sim.schedule_at(1'000'000 + i, [] {});
+  }
+  sim.run();
+  const auto v = telemetry::json::parse(p.to_json());
+  EXPECT_EQ(v.at("kernel").at("queue_backend").string, "calendar");
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(v.at("kernel").at("queue_compactions").number),
+      sim.queue_compactions());
+  EXPECT_GT(sim.queue_compactions(), 0u);
+}
+
 TEST(Profiler, AttachingNeverPerturbsTheRunDigest) {
   // The observability plane's prime directive: profile=1 must not change
   // what the simulation computes, only observe it.

@@ -311,6 +311,26 @@ TEST(RegressEndToEnd, BackToBackRunsProduceByteIdenticalDigests) {
             static_cast<double>(first.count()));
 }
 
+TEST(RegressEndToEnd, QueueBackendsProduceIdenticalDigests) {
+  // The tentpole guarantee at scenario scale: `sched_queue=` is a pure
+  // performance knob. A full dumbbell run — packet events, timer churn,
+  // cancellations, tombstone compactions — must digest identically whether
+  // the kernel orders events with the heap or the calendar backend.
+  sweep::SweepPoint point;
+  point.opts = small_dumbbell();
+  RunDigest heap, calendar;
+  point.opts.set("sched_queue", "heap");
+  const auto r1 = sweep::run_scenario(point, true, &heap);
+  point.opts.set("sched_queue", "calendar");
+  const auto r2 = sweep::run_scenario(point, true, &calendar);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_GT(heap.count(), 0u);
+  EXPECT_EQ(heap.count(), calendar.count());
+  EXPECT_EQ(heap.total().hex(), calendar.total().hex());
+  EXPECT_EQ(heap.sub_digest_hex(), calendar.sub_digest_hex());
+}
+
 TEST(RegressEndToEnd, DigestIsOffByDefault) {
   sweep::SweepPoint point;
   point.opts = small_dumbbell();

@@ -61,6 +61,7 @@ constexpr KeyHelp kKeys[] = {
     {"weights", "comma list, one per queue (default all 1)"},
     {"rtt_us", "RTT used in the threshold formulas (default 18 / 85.2)"},
     {"mark_point", "enqueue | dequeue (default enqueue)"},
+    {"sched_queue", "event queue backend: heap | calendar (default heap)"},
     {"seed", "workload / fault RNG seed (default 1)"},
     // Dumbbell-only.
     {"flows_per_queue", "dumbbell: comma list, e.g. 1,8"},
