@@ -45,6 +45,12 @@ void Deadline::tick() {
   sim_.schedule_in(period_, [this] { tick(); });
 }
 
+const char* Deadline::blind_spot_note() {
+  return "cell_timeout_s is enforced from inside the event loop: a callback "
+         "that never returns is never interrupted. Use isolate=1 for a "
+         "hard (out-of-process) kill.";
+}
+
 void Deadline::bind_metrics(telemetry::MetricsRegistry& registry) {
   registry.counter_fn("deadline.samples", {}, [this] { return samples_; },
                       "samples");

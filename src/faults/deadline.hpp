@@ -12,6 +12,14 @@
 // Limits, shared with the Watchdog: the tick is a simulation event, so a
 // loop that never advances simulated time never reaches the next tick.
 // Pair with `watchdog_events=` to bound same-instant event explosions.
+//
+// THE BLIND SPOT (see blind_spot_note()): a single callback that never
+// *returns* — an infinite loop inside one event, a deadlocked wait — starves
+// the event loop itself. No tick ever dispatches, so neither the Deadline
+// nor the Watchdog can fire, and in-process the cell wedges forever. The
+// sweep's `isolate=1` mode closes this: the CellSupervisor parent enforces
+// the same `cell_timeout_s` budget from *outside* the process and hard-kills
+// a child the Deadline could not interrupt.
 #pragma once
 
 #include <chrono>
@@ -54,6 +62,12 @@ class Deadline {
   [[nodiscard]] double elapsed_s() const;
 
   void bind_metrics(telemetry::MetricsRegistry& registry);
+
+  /// One-line statement of the enforcement limitation, for CLIs and docs:
+  /// the deadline dispatches as a sim event, so a callback that never
+  /// returns is never interrupted. Kept in code (not just comments) so the
+  /// CLI can print it whenever cell_timeout_s is used without isolate=1.
+  [[nodiscard]] static const char* blind_spot_note();
 
  private:
   void tick();

@@ -1,5 +1,6 @@
 #include "sweep/scenario_run.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -18,6 +19,7 @@
 #include "regress/digest.hpp"
 #include "sim/rng.hpp"
 #include "stats/csv.hpp"
+#include "sweep/crash_inject.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "telemetry/metrics.hpp"
@@ -271,6 +273,18 @@ struct Robustness {
           sc.simulator(), cell_timeout_s,
           sim::microseconds_f(opts.get_double("cell_timeout_period_us", 500.0)));
       deadline->start();
+    }
+
+    if (opts.get("fault_test") == "wedge_callback") {
+      // The cell_timeout_s blind spot made reproducible: the Deadline tick
+      // is itself a sim event, so a callback that never returns starves the
+      // event loop and the deadline can never fire (see
+      // faults::Deadline::blind_spot_note()). Only the isolate=1
+      // supervisor's parent-side hard kill recovers from this shape.
+      sc.simulator().schedule_in(sim::milliseconds(1), [] {
+        volatile std::uint64_t spin = 0;
+        for (;;) ++spin;
+      });
     }
   }
 
@@ -560,6 +574,9 @@ RunRecord run_scenario(const SweepPoint& point, bool quiet) {
 
 RunRecord run_scenario(const SweepPoint& point, bool quiet,
                        regress::RunDigest* digest) {
+  // Test-only deterministic crash hook (no-op unless PMSB_CRASH_AT is set):
+  // lets the supervisor tests fault exactly one cell of a real sweep.
+  maybe_inject_crash(point.index);
   RunRecord rec;
   rec.index = point.index;
   rec.label = point.label;

@@ -11,7 +11,12 @@
 #include <stdexcept>
 #include <thread>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "faults/deadline.hpp"
+#include "sweep/cell_supervisor.hpp"
 #include "sweep/scenario_run.hpp"
 #include "telemetry/manifest_reader.hpp"
 #include "telemetry/run_report.hpp"
@@ -152,6 +157,9 @@ void prepare_point(SweepPoint& point, const SweepConfig& config,
   if (config.cell_timeout_s > 0.0) {
     point.opts.set("cell_timeout_s", format_double(config.cell_timeout_s));
   }
+  if (config.cell_mem_mb > 0) {
+    point.opts.set("cell_mem_mb", std::to_string(config.cell_mem_mb));
+  }
   // Per-point file outputs other than the manifest would collide across
   // points (every point would write the same path); drop them.
   point.opts.erase("timeseries_csv");
@@ -163,13 +171,27 @@ void prepare_point(SweepPoint& point, const SweepConfig& config,
 
 /// Best-effort stub manifest for a failed cell: enough for a later resume
 /// to see info.status=failed and re-run the cell rather than salvage it.
+/// The record's supervisor diagnostics (attempts, exit class, child rusage)
+/// ride along as info entries so a post-mortem of the directory alone tells
+/// the whole story.
 void write_failure_manifest(const std::string& path, const SweepPoint& point,
-                            const std::string& error) {
+                            const RunRecord& rec) {
   telemetry::RunManifest manifest("pmsbsim-sweep");
   manifest.set_config(point.opts.values());
   manifest.set_seed(static_cast<std::uint64_t>(point.opts.get_int("seed", 0)));
   manifest.set_info("status", "failed");
-  manifest.set_info("error", error);
+  manifest.set_info("error", rec.error);
+  manifest.set_info("attempts", std::to_string(rec.attempts));
+  manifest.set_info("exit_class", rec.exit_class);
+  if (rec.exit_signal != 0) {
+    manifest.set_info("exit_signal", std::to_string(rec.exit_signal));
+  }
+  if (rec.exit_code != 0) {
+    manifest.set_info("exit_code", std::to_string(rec.exit_code));
+  }
+  if (rec.peak_rss_bytes > 0.0) {
+    manifest.set_info("peak_rss_bytes", format_double(rec.peak_rss_bytes));
+  }
   try {
     manifest.write(path, nullptr);
   } catch (...) {
@@ -177,6 +199,14 @@ void write_failure_manifest(const std::string& path, const SweepPoint& point,
     // means a resume re-runs the cell, which is the safe direction.
   }
 }
+
+/// Supervisor bookkeeping keys a manifest's info section may carry. They
+/// describe how a past execution went, not what the cell computed, so
+/// salvage strips them — a rehydrated record must stay bit-identical to a
+/// freshly-run one.
+constexpr const char* kSupervisorInfoKeys[] = {
+    "status", "attempts", "exit_class", "exit_signal", "exit_code",
+    "peak_rss_bytes"};
 
 }  // namespace
 
@@ -238,7 +268,8 @@ SalvageOutcome try_salvage_cell(const std::string& manifest_path,
   rec.ok = true;
   rec.config = manifest.config;
   rec.info = manifest.info;
-  rec.info.erase("status");  // manifest-only marker, not part of the record
+  // Manifest-only execution markers, not part of the record.
+  for (const char* key : kSupervisorInfoKeys) rec.info.erase(key);
   rec.results = manifest.results;
   rec.sim_time_us = manifest.sim_time_us;
   rec.manifest_path = manifest_path;
@@ -247,23 +278,154 @@ SalvageOutcome try_salvage_cell(const std::string& manifest_path,
   return out;
 }
 
+namespace {
+
+/// In-process execution of one prepared cell: the original path. Crash
+/// containment is limited to C++ exceptions — anything harder takes the
+/// whole process down (that is what isolate=true is for).
+RunRecord run_cell_in_process(const SweepPoint& point,
+                              const std::string& manifest_path) {
+  RunRecord rec;
+  try {
+    rec = run_scenario(point, /*quiet=*/true);
+  } catch (const std::exception& e) {
+    rec.index = point.index;
+    rec.label = point.label;
+    rec.ok = false;
+    rec.error = e.what();
+    rec.config = point.opts.values();
+    rec.exit_class = "throw";
+    if (dynamic_cast<const faults::DeadlineExceeded*>(&e) != nullptr) {
+      rec.info["failed_phase"] = "run";
+      rec.exit_class = "timeout";
+    }
+    if (!manifest_path.empty()) {
+      write_failure_manifest(manifest_path, point, rec);
+      rec.manifest_path = manifest_path;
+    }
+  }
+  return rec;
+}
+
+/// Supervised execution of one prepared cell: fork, cap, classify, retry
+/// crash classes with exponential backoff, quarantine what keeps failing.
+RunRecord run_cell_supervised(const SweepPoint& point, const SweepConfig& config,
+                              const std::string& manifest_path,
+                              std::size_t grid_size) {
+  CellLimits limits;
+  limits.wall_s = config.cell_timeout_s;
+  limits.mem_mb = config.cell_mem_mb;
+  const std::size_t max_attempts = 1 + config.cell_retries;
+  const auto repro_path =
+      (std::filesystem::path(manifest_path).parent_path() /
+       repro_file_name(point.index, grid_size))
+          .string();
+
+  CellOutcome outcome;
+  std::size_t attempts = 0;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config.retry_backoff_ms *
+          static_cast<double>(1ull << (attempt - 2))));
+      // A crashed child may have left a half-written manifest behind; the
+      // retry must start from a clean slate so a success writes the one and
+      // only manifest for this cell.
+      std::error_code ec;
+      std::filesystem::remove(manifest_path, ec);
+    }
+    attempts = attempt;
+    outcome = run_cell_in_child(point, limits, static_cast<int>(attempt));
+    if (outcome.exit_class == ExitClass::kOk ||
+        !exit_class_retryable(outcome.exit_class)) {
+      break;
+    }
+  }
+
+  RunRecord rec;
+  if (outcome.exit_class == ExitClass::kOk) {
+    SalvageOutcome salvage = try_salvage_cell(manifest_path, point);
+    if (salvage.record.has_value()) {
+      rec = std::move(*salvage.record);
+      rec.salvaged = false;  // the cell really executed — in a child
+      // A bundle from an earlier, crashier pass over this cell is obsolete.
+      std::error_code ec;
+      std::filesystem::remove(repro_path, ec);
+    } else {
+      rec.index = point.index;
+      rec.label = point.label;
+      rec.ok = false;
+      rec.config = point.opts.values();
+      rec.exit_class = "throw";
+      rec.error =
+          "child exited cleanly but its manifest is unusable: " + salvage.reason;
+    }
+  } else {
+    rec.index = point.index;
+    rec.label = point.label;
+    rec.ok = false;
+    rec.config = point.opts.values();
+    rec.error = outcome.error;
+    rec.exit_class = exit_class_name(outcome.exit_class);
+    rec.exit_signal = outcome.exit_signal;
+    rec.exit_code = outcome.exit_code;
+    if (outcome.exit_class == ExitClass::kTimeout) {
+      rec.info["failed_phase"] = "run";
+    }
+  }
+  rec.attempts = attempts;
+  rec.peak_rss_bytes = outcome.peak_rss_bytes;
+  if (!rec.ok) {
+    // Graceful degradation: the cell is quarantined, the sweep completes.
+    // The stub manifest makes a resume re-run it; the repro bundle makes
+    // the failure reproducible solo (`pmsbsim repro=<file>`).
+    rec.quarantined = true;
+    write_failure_manifest(manifest_path, point, rec);
+    rec.manifest_path = manifest_path;
+    try {
+      write_text_file(repro_path, repro_bundle_json(point, rec));
+      rec.repro_path = repro_path;
+    } catch (...) {
+      // Quarantine holds without the bundle; the record has the diagnostic.
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
 std::vector<RunRecord> run_sweep(const std::vector<SweepPoint>& points,
                                  const SweepConfig& config) {
+  SweepConfig cfg = config;
+  if (cfg.isolate && cfg.manifest_dir.empty()) {
+    // Isolated results travel through manifest files, so conjure a private
+    // directory when the caller did not name one. Kept after the sweep:
+    // quarantined cells' stubs and repro bundles live there.
+    const std::string pattern =
+        (std::filesystem::temp_directory_path() / "pmsb_sweep_XXXXXX").string();
+    std::vector<char> tmpl(pattern.begin(), pattern.end());
+    tmpl.push_back('\0');
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("run_sweep: cannot create a temp manifest dir");
+    }
+    cfg.manifest_dir.assign(tmpl.data());
+  }
+
   std::vector<RunRecord> records(points.size());
   std::atomic<std::size_t> completed{0};
   std::mutex print_mutex;
-  parallel_for(points.size(), config.jobs, [&](std::size_t i) {
+  parallel_for(points.size(), cfg.jobs, [&](std::size_t i) {
     SweepPoint point = points[i];
     std::string manifest_path;
-    if (!config.manifest_dir.empty()) {
+    if (!cfg.manifest_dir.empty()) {
       manifest_path =
-          config.manifest_dir + "/" + manifest_file_name(point.index, points.size());
+          cfg.manifest_dir + "/" + manifest_file_name(point.index, points.size());
     }
-    prepare_point(point, config, manifest_path);
+    prepare_point(point, cfg, manifest_path);
 
     bool salvaged = false;
     std::string rerun_reason;
-    if (config.resume && !manifest_path.empty()) {
+    if (cfg.resume && !manifest_path.empty()) {
       SalvageOutcome salvage = try_salvage_cell(manifest_path, point);
       if (salvage.record.has_value()) {
         records[i] = std::move(*salvage.record);
@@ -274,25 +436,12 @@ std::vector<RunRecord> run_sweep(const std::vector<SweepPoint>& points,
     }
 
     if (!salvaged) {
-      if (config.on_cell_run) config.on_cell_run(point.index);
+      if (cfg.on_cell_run) cfg.on_cell_run(point.index);
       const auto t0 = std::chrono::steady_clock::now();
-      RunRecord rec;
-      try {
-        rec = run_scenario(point, /*quiet=*/true);
-      } catch (const std::exception& e) {
-        rec.index = point.index;
-        rec.label = point.label;
-        rec.ok = false;
-        rec.error = e.what();
-        rec.config = point.opts.values();
-        if (dynamic_cast<const faults::DeadlineExceeded*>(&e) != nullptr) {
-          rec.info["failed_phase"] = "run";
-        }
-        if (!manifest_path.empty()) {
-          write_failure_manifest(manifest_path, point, rec.error);
-          rec.manifest_path = manifest_path;
-        }
-      }
+      RunRecord rec = cfg.isolate
+                          ? run_cell_supervised(point, cfg, manifest_path,
+                                                points.size())
+                          : run_cell_in_process(point, manifest_path);
       rec.wall_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
@@ -300,13 +449,17 @@ std::vector<RunRecord> run_sweep(const std::vector<SweepPoint>& points,
     }
 
     const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (config.progress) {
+    if (cfg.progress) {
       const std::lock_guard<std::mutex> lock(print_mutex);
-      const char* status =
-          records[i].salvaged ? "salvaged" : records[i].ok ? "ok" : "FAILED";
+      std::string status = records[i].salvaged ? "salvaged"
+                           : records[i].ok    ? "ok"
+                                              : "FAILED";
+      if (records[i].quarantined) {
+        status += " [quarantined: " + records[i].exit_class + "]";
+      }
       std::printf("[%zu/%zu] %s: %s (%.0f ms)\n", done, points.size(),
-                  points[i].label.c_str(), status, records[i].wall_ms);
-      if (config.resume && !records[i].salvaged && !rerun_reason.empty()) {
+                  points[i].label.c_str(), status.c_str(), records[i].wall_ms);
+      if (cfg.resume && !records[i].salvaged && !rerun_reason.empty()) {
         std::printf("    re-run: %s\n", rerun_reason.c_str());
       }
       std::fflush(stdout);
@@ -331,8 +484,10 @@ std::string deterministic_signature(const RunRecord& rec) {
 std::string sweep_report_json(const std::vector<RunRecord>& records,
                               std::size_t jobs, double wall_s) {
   std::size_t failed = 0;
+  std::size_t quarantined = 0;
   for (const auto& r : records) {
     if (!r.ok) ++failed;
+    if (r.quarantined) ++quarantined;
   }
   telemetry::JsonWriter w;
   w.begin_object();
@@ -341,6 +496,7 @@ std::string sweep_report_json(const std::vector<RunRecord>& records,
   w.key("jobs").value(static_cast<std::uint64_t>(jobs));
   w.key("points").value(static_cast<std::uint64_t>(records.size()));
   w.key("failed").value(static_cast<std::uint64_t>(failed));
+  w.key("quarantined").value(static_cast<std::uint64_t>(quarantined));
   w.key("wall_s").value(wall_s);
   w.key("runs").begin_array();
   for (const auto& r : records) {
@@ -349,6 +505,16 @@ std::string sweep_report_json(const std::vector<RunRecord>& records,
     w.key("label").value(r.label);
     w.key("ok").value(r.ok);
     if (!r.ok) w.key("error").value(r.error);
+    w.key("attempts").value(static_cast<std::uint64_t>(r.attempts));
+    w.key("exit_class").value(r.exit_class);
+    if (r.exit_signal != 0) {
+      w.key("exit_signal").value(static_cast<std::int64_t>(r.exit_signal));
+    }
+    if (r.exit_code != 0) {
+      w.key("exit_code").value(static_cast<std::int64_t>(r.exit_code));
+    }
+    if (r.peak_rss_bytes > 0.0) w.key("peak_rss_bytes").value(r.peak_rss_bytes);
+    if (r.quarantined) w.key("quarantined").value(true);
     w.key("config").begin_object();
     for (const auto& [k, v] : r.config) w.key(k).value(v);
     w.end_object();
@@ -361,6 +527,7 @@ std::string sweep_report_json(const std::vector<RunRecord>& records,
     w.key("sim_time_us").value(r.sim_time_us);
     w.key("wall_ms").value(r.wall_ms);
     if (!r.manifest_path.empty()) w.key("manifest").value(r.manifest_path);
+    if (!r.repro_path.empty()) w.key("repro").value(r.repro_path);
     w.end_object();
   }
   w.end_array();
@@ -386,12 +553,13 @@ std::string sweep_report_csv(const std::vector<RunRecord>& records) {
     quoted += '"';
     return quoted;
   };
-  std::string out = "index,label,ok,error,sim_time_us,wall_ms";
+  std::string out = "index,label,ok,attempts,exit_class,error,sim_time_us,wall_ms";
   for (const auto& k : result_keys) out += "," + escape(k);
   out += "\n";
   for (const auto& r : records) {
     out += std::to_string(r.index) + "," + escape(r.label) + "," +
-           (r.ok ? "1" : "0") + "," + escape(r.error) + "," +
+           (r.ok ? "1" : "0") + "," + std::to_string(r.attempts) + "," +
+           r.exit_class + "," + escape(r.error) + "," +
            format_double(r.sim_time_us) + "," + format_double(r.wall_ms);
     for (const auto& k : result_keys) {
       out += ",";

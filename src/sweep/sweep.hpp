@@ -71,6 +71,20 @@ struct RunRecord {
   /// deterministic_signature() and the report JSON, so a resumed sweep's
   /// report is byte-identical to an uninterrupted run's.
   bool salvaged = false;
+
+  // --- supervisor diagnostics (see cell_supervisor.hpp) ------------------
+  // Live measurements of how the cell executed, not what it computed: like
+  // wall_ms they are excluded from deterministic_signature(), and salvaged
+  // records keep the defaults.
+  std::size_t attempts = 1;    ///< executions incl. retries (salvaged: 1)
+  std::string exit_class = "ok";  ///< ok | throw | signal | timeout | oom
+  int exit_signal = 0;         ///< terminating signal when exit_class=signal
+  int exit_code = 0;           ///< child exit code when it exited abnormally
+  double peak_rss_bytes = 0.0;  ///< child ru_maxrss (isolated cells only)
+  /// Failed terminally under isolation (retries exhausted or deterministic
+  /// failure); the sweep completed around it and wrote a repro bundle.
+  bool quarantined = false;
+  std::string repro_path;      ///< crash-repro bundle ("" unless quarantined)
 };
 
 struct SweepConfig {
@@ -87,7 +101,30 @@ struct SweepConfig {
   /// > 0: per-cell wall-clock budget in host seconds, enforced from inside
   /// each cell's event loop (faults::Deadline). An over-budget cell fails
   /// alone with a [cell_timeout] diagnostic; the rest of the grid proceeds.
+  /// In-process (isolate=false) this is BEST-EFFORT: the deadline tick is a
+  /// sim event, so a callback that never returns is never interrupted (see
+  /// faults::Deadline::blind_spot_note()). With isolate=true the supervisor
+  /// additionally hard-kills the child past the budget.
   double cell_timeout_s = 0.0;
+  /// Run each cell in a forked child under the CellSupervisor: crashes
+  /// (SIGSEGV, OOM kills, wedged callbacks) fail the cell — with a named
+  /// exit class in the report — instead of the whole sweep. Results come
+  /// back through the per-cell manifests; with an empty manifest_dir a
+  /// private temp directory is created (and reported via manifest_path).
+  bool isolate = false;
+  /// With isolate: RLIMIT_AS cap per child, in MiB (0 = unlimited).
+  /// Echoed into each cell's config as cell_mem_mb= so repro bundles and
+  /// salvage validation carry it; inert in-process.
+  std::size_t cell_mem_mb = 0;
+  /// With isolate: extra attempts for cells that fail in a crash class
+  /// (signal / timeout / oom). Deterministic failures (class throw) are
+  /// never retried. A cell that exhausts its attempts is quarantined: the
+  /// sweep completes, the record carries the diagnostic and a repro bundle.
+  std::size_t cell_retries = 0;
+  /// With isolate: backoff before retry k is retry_backoff_ms * 2^(k-1)
+  /// milliseconds. Tests shrink it; the default absorbs transient host
+  /// pressure (the usual cause of spurious OOM / timeout classes).
+  double retry_backoff_ms = 250.0;
   /// Print one progress line per completed run.
   bool progress = false;
   /// Called (concurrently, from worker threads) once per cell that actually
@@ -135,14 +172,20 @@ struct SalvageOutcome {
 
 /// Aggregated sweep report, schema `pmsb.sweep_report/1`:
 ///   { "schema": "pmsb.sweep_report/1", "git": ..., "jobs": N,
-///     "points": N, "failed": N, "wall_s": W,
-///     "runs": [ {"index", "label", "ok", "error"?, "config", "info",
-///                "results", "sim_time_us", "wall_ms", "manifest"?}, ...] }
+///     "points": N, "failed": N, "quarantined": N, "wall_s": W,
+///     "runs": [ {"index", "label", "ok", "error"?, "attempts",
+///                "exit_class", "exit_signal"?, "exit_code"?,
+///                "peak_rss_bytes"?, "quarantined"?, "config", "info",
+///                "results", "sim_time_us", "wall_ms", "manifest"?,
+///                "repro"?}, ...] }
+/// exit_signal / exit_code appear when non-zero, peak_rss_bytes when the
+/// cell ran isolated, quarantined / repro only on quarantined cells.
 [[nodiscard]] std::string sweep_report_json(const std::vector<RunRecord>& records,
                                             std::size_t jobs, double wall_s);
 
-/// One row per run: index,label,ok,error,sim_time_us,wall_ms plus the sorted
-/// union of every result key (blank cell where a run lacks the key).
+/// One row per run: index,label,ok,attempts,exit_class,error,sim_time_us,
+/// wall_ms plus the sorted union of every result key (blank cell where a
+/// run lacks the key).
 [[nodiscard]] std::string sweep_report_csv(const std::vector<RunRecord>& records);
 
 /// Writes `content` to `path`; throws std::runtime_error on I/O failure.

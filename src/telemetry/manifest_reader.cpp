@@ -31,6 +31,16 @@ std::map<std::string, std::string> string_map(const json::Value& root,
 
 }  // namespace
 
+double ManifestData::info_number(const std::string& key, double fallback) const {
+  const auto it = info.find(key);
+  if (it == info.end()) return fallback;
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') return fallback;
+  return value;
+}
+
 ManifestData parse_run_manifest(const std::string& text, const std::string& origin) {
   json::Value root;
   try {

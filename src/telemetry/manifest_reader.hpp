@@ -28,6 +28,11 @@ struct ManifestData {
   std::map<std::string, std::string> config;
   std::map<std::string, std::string> info;
   std::map<std::string, double> results;
+
+  /// Parses info[key] as a number; `fallback` when the key is absent or not
+  /// numeric. Supervisor diagnostics (attempts, exit_signal, peak_rss_bytes)
+  /// ride in the info map as strings — this is the read-side convenience.
+  [[nodiscard]] double info_number(const std::string& key, double fallback) const;
 };
 
 /// Parses `text` as a run manifest. `origin` names the source in error

@@ -78,6 +78,29 @@ std::vector<sweep::RunRecord> zero_wall(std::vector<sweep::RunRecord> recs) {
   return recs;
 }
 
+/// Like zero_wall, but for isolated sweeps: also normalizes the live
+/// execution measurements (attempts, peak rss) that legitimately differ
+/// between a salvaged cell and one that re-ran in a child.
+std::vector<sweep::RunRecord> zero_live(std::vector<sweep::RunRecord> recs) {
+  for (auto& r : recs) {
+    r.wall_ms = 0.0;
+    r.attempts = 1;
+    r.peak_rss_bytes = 0.0;
+  }
+  return recs;
+}
+
+/// Scoped PMSB_CRASH_AT: the injection must not leak into sibling tests.
+struct ScopedEnv {
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+  const char* name_;
+};
+
 }  // namespace
 
 // --- kill-and-resume equivalence ---------------------------------------
@@ -333,6 +356,76 @@ TEST(CellTimeout, ResumeWithBiggerBudgetRerunsTimedOutCells) {
   const auto second = sweep::run_sweep(pts, counted.cfg);
   EXPECT_EQ(counted.sorted_runs(), (std::vector<std::size_t>{0}));
   EXPECT_TRUE(second[0].ok) << second[0].error;
+}
+
+// --- resume x crashes (isolated sweeps) --------------------------------
+// jobs stays 1 in these: run_sweep then forks from the calling thread,
+// which keeps the fork single-threaded (TSan-safe) and deterministic.
+
+TEST(ResumeCrashedSweep, QuarantinedCellsAreRerunNeverSalvaged) {
+  // Pass 1: cell 1 quarantines on an injected deterministic throw (no
+  // sanitizer caveats — nothing actually crashes). Its stub must be marked
+  // failed, and a resume must re-run exactly that cell — with the injection
+  // gone the grid heals.
+  const auto pts = sweep::expand_grid(leafspine_base(), "load:0.3,0.5,0.7");
+  sweep::SweepConfig cfg;
+  cfg.jobs = 1;
+  cfg.isolate = true;
+  cfg.manifest_dir = fresh_dir("resume_quarantine");
+  cfg.retry_backoff_ms = 5.0;
+  std::vector<sweep::RunRecord> crashed;
+  {
+    const ScopedEnv inject("PMSB_CRASH_AT", "1:throw");
+    crashed = sweep::run_sweep(pts, cfg);
+  }
+  ASSERT_TRUE(crashed[0].ok) << crashed[0].error;
+  ASSERT_FALSE(crashed[1].ok);
+  EXPECT_TRUE(crashed[1].quarantined);
+  EXPECT_EQ(crashed[1].exit_class, "throw");
+  ASSERT_TRUE(crashed[2].ok) << crashed[2].error;
+
+  CountingConfig resume(cfg);
+  resume.cfg.resume = true;
+  const auto resumed = sweep::run_sweep(pts, resume.cfg);
+  EXPECT_EQ(resume.sorted_runs(), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(resumed[0].salvaged);
+  EXPECT_FALSE(resumed[1].salvaged);
+  EXPECT_TRUE(resumed[1].ok) << resumed[1].error;
+  EXPECT_FALSE(resumed[1].quarantined);
+  EXPECT_TRUE(resumed[2].salvaged);
+
+  // The healed grid's report is bit-identical to an uninterrupted isolated
+  // run of the same grid (same manifest dir, so identical config echos),
+  // modulo the live wall/attempt/rss measurements.
+  const auto uninterrupted = sweep::run_sweep(pts, cfg);
+  for (const auto& r : uninterrupted) ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(sweep::sweep_report_json(zero_live(resumed), cfg.jobs, 0.0),
+            sweep::sweep_report_json(zero_live(uninterrupted), cfg.jobs, 0.0));
+}
+
+TEST(ResumeCrashedSweep, ResumeAcrossModesSalvagesIsolatedManifests) {
+  // Manifests written by isolated children are indistinguishable from
+  // in-process ones: an in-process resume salvages them all (and the other
+  // direction holds too — the echo carries the same keys either way).
+  const auto pts = sweep::expand_grid(leafspine_base(), "load:0.4,0.6");
+  sweep::SweepConfig iso;
+  iso.jobs = 1;
+  iso.isolate = true;
+  iso.manifest_dir = fresh_dir("resume_cross_mode");
+  const auto first = sweep::run_sweep(pts, iso);
+  for (const auto& r : first) ASSERT_TRUE(r.ok) << r.error;
+
+  sweep::SweepConfig in_process = iso;
+  in_process.isolate = false;
+  in_process.resume = true;
+  CountingConfig resume(in_process);
+  const auto resumed = sweep::run_sweep(pts, resume.cfg);
+  EXPECT_TRUE(resume.sorted_runs().empty());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(resumed[i].salvaged);
+    EXPECT_EQ(sweep::deterministic_signature(first[i]),
+              sweep::deterministic_signature(resumed[i]));
+  }
 }
 
 // --- golden sweep report -----------------------------------------------

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "experiments/options.hpp"
+#include "faults/deadline.hpp"
+#include "sweep/cell_supervisor.hpp"
 #include "sweep/scenario_run.hpp"
 #include "sweep/sweep.hpp"
 
@@ -102,7 +104,8 @@ constexpr KeyHelp kKeys[] = {
     {"watchdog_horizon_ms", "abort when no flow progress for this long"},
     {"watchdog_events", "abort when executed events exceed this budget"},
     {"watchdog_period_us", "watchdog sampling cadence (default 100)"},
-    {"cell_timeout_s", "> 0: per-run wall-clock budget"},
+    {"cell_timeout_s", "> 0: per-run wall-clock budget (in-process this is "
+                       "best-effort; see isolate=)"},
     {"cell_timeout_period_us", "deadline check cadence (default 500)"},
     // Sweeps.
     {"sweep", "grid spec \"key:v1,v2[;key2:w1,w2]\" — cartesian product"},
@@ -110,7 +113,19 @@ constexpr KeyHelp kKeys[] = {
     {"sweep_json", "path: aggregated pmsb.sweep_report/1 JSON"},
     {"sweep_csv", "path: one CSV row per run"},
     {"sweep_manifest_dir", "existing dir: per-run manifest files"},
-    {"sweep_resume", "1: salvage completed cells from sweep_manifest_dir"},
+    {"sweep_resume", "1: salvage completed cells from sweep_manifest_dir; "
+                     "crashed / quarantined cells are re-run"},
+    // Crash-proofing (docs/ROBUSTNESS.md).
+    {"isolate", "1: run each sweep cell in a forked child; crashes / OOM "
+                "kills / wedged cells quarantine with a repro bundle "
+                "instead of killing the sweep"},
+    {"cell_mem_mb", "isolate: RLIMIT_AS per child, MiB (0 = unlimited)"},
+    {"cell_retries", "isolate: extra attempts for signal/timeout/oom cells "
+                     "(throws are deterministic, never retried)"},
+    {"retry_backoff_ms", "isolate: retry k backs off 2^(k-1) * this "
+                         "(default 250)"},
+    {"repro", "path to a pmsb.repro/1 bundle: re-run that quarantined cell "
+              "solo (other keys override; isolate=0 to debug in-process)"},
 };
 
 void print_usage() {
@@ -142,11 +157,18 @@ int run_sweep_cli(const Options& opts) {
   cfg.manifest_dir = opts.get("sweep_manifest_dir");
   cfg.resume = opts.get_bool("sweep_resume", false);
   cfg.cell_timeout_s = opts.get_double("cell_timeout_s", 0.0);
+  cfg.isolate = opts.get_bool("isolate", false);
+  cfg.cell_mem_mb = static_cast<std::size_t>(opts.get_int("cell_mem_mb", 0));
+  cfg.cell_retries = static_cast<std::size_t>(opts.get_int("cell_retries", 0));
+  cfg.retry_backoff_ms = opts.get_double("retry_backoff_ms", 250.0);
   cfg.progress = true;
   if (cfg.resume && cfg.manifest_dir.empty()) {
     throw std::invalid_argument(
         "sweep_resume=1 requires sweep_manifest_dir= (there is nothing to "
         "salvage from)");
+  }
+  if (cfg.cell_timeout_s > 0.0 && !cfg.isolate) {
+    std::printf("note: %s\n", faults::Deadline::blind_spot_note());
   }
 
   // The base config every point starts from: everything except the keys
@@ -154,11 +176,13 @@ int run_sweep_cli(const Options& opts) {
   Options base = opts;
   for (const char* key : {"sweep", "jobs", "sweep_json", "sweep_csv",
                           "sweep_manifest_dir", "sweep_resume",
-                          "cell_timeout_s"}) {
+                          "cell_timeout_s", "isolate", "cell_mem_mb",
+                          "cell_retries", "retry_backoff_ms"}) {
     base.erase(key);
   }
   const auto points = sweep::expand_grid(base, spec);
-  std::printf("sweep: %zu points x jobs=%zu\n", points.size(), cfg.jobs);
+  std::printf("sweep: %zu points x jobs=%zu%s\n", points.size(), cfg.jobs,
+              cfg.isolate ? " (isolated cells)" : "");
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto records = sweep::run_sweep(points, cfg);
@@ -167,18 +191,28 @@ int run_sweep_cli(const Options& opts) {
 
   std::size_t failed = 0;
   std::size_t salvaged = 0;
+  std::size_t quarantined = 0;
   for (const auto& r : records) {
     if (r.salvaged) ++salvaged;
+    if (r.quarantined) ++quarantined;
     if (!r.ok) {
       ++failed;
       std::fprintf(stderr, "FAILED [%zu] %s: %s\n", r.index, r.label.c_str(),
                    r.error.c_str());
+      if (r.quarantined) {
+        std::fprintf(stderr,
+                     "    quarantined: class=%s attempts=%zu%s%s\n",
+                     r.exit_class.c_str(), r.attempts,
+                     r.repro_path.empty() ? "" : " repro=",
+                     r.repro_path.c_str());
+      }
     }
   }
   std::printf("sweep done: %zu/%zu ok in %.2f s", records.size() - failed,
               records.size(), wall_s);
   if (cfg.resume) std::printf(" (%zu salvaged, %zu re-run)", salvaged,
                               records.size() - salvaged);
+  if (quarantined > 0) std::printf(" (%zu quarantined)", quarantined);
   std::printf("\n");
 
   if (opts.has("sweep_json")) {
@@ -191,6 +225,54 @@ int run_sweep_cli(const Options& opts) {
     std::printf("wrote %s\n", opts.get("sweep_csv").c_str());
   }
   return failed == 0 ? 0 : 1;
+}
+
+/// Re-runs the quarantined cell captured in a pmsb.repro/1 bundle, solo.
+/// Exit 0 when the cell now completes, 2 when it fails again (so scripts
+/// can tell "fixed" from "still broken"). By default the cell runs under
+/// the supervisor — a reproduced hang or OOM stays bounded; `isolate=0`
+/// runs it in-process for a debugger.
+int run_repro_cli(const Options& opts) {
+  const std::string path = opts.get("repro");
+  const sweep::ReproBundle bundle = sweep::load_repro_bundle(path);
+  std::printf("repro: cell %zu (%s), quarantined as '%s'\n  was: %s\n",
+              bundle.cell_index, bundle.label.c_str(), bundle.exit_class.c_str(),
+              bundle.error.c_str());
+
+  sweep::SweepPoint point;
+  point.index = bundle.cell_index;
+  point.label = bundle.label;
+  point.opts = bundle.opts;
+  // CLI keys override the bundle's echo (loosen cell_timeout_s=, drop the
+  // memory cap, isolate=0 for gdb, ...).
+  for (const auto& [k, v] : opts.values()) {
+    if (k != "repro") point.opts.set(k, v);
+  }
+  // The echo points metrics_json at the original sweep's manifest dir; a
+  // solo re-run must not clobber that cell's stub.
+  if (!opts.has("metrics_json")) point.opts.erase("metrics_json");
+
+  const bool isolate = point.opts.get_bool("isolate", true);
+  point.opts.erase("isolate");
+  if (!isolate) {
+    std::printf("repro: running in-process (crashes crash THIS process)\n");
+    (void)sweep::run_scenario(point, /*quiet=*/false);
+    std::printf("repro: cell completed ok\n");
+    return 0;
+  }
+
+  sweep::CellLimits limits;
+  limits.wall_s = point.opts.get_double("cell_timeout_s", 0.0);
+  limits.mem_mb = static_cast<std::size_t>(point.opts.get_int("cell_mem_mb", 0));
+  const sweep::CellOutcome outcome = sweep::run_cell_in_child(point, limits, 1);
+  if (outcome.exit_class == sweep::ExitClass::kOk) {
+    std::printf("repro: cell completed ok (%.0f ms, peak rss %.0f MiB)\n",
+                outcome.wall_ms, outcome.peak_rss_bytes / (1024.0 * 1024.0));
+    return 0;
+  }
+  std::fprintf(stderr, "repro: cell failed again: class=%s\n  %s\n",
+               sweep::exit_class_name(outcome.exit_class), outcome.error.c_str());
+  return 2;
 }
 
 }  // namespace
@@ -206,6 +288,7 @@ int main(int argc, char** argv) {
   try {
     const Options opts = Options::from_args(argc, argv);
     opts.validate_keys(allowed_keys());
+    if (opts.has("repro")) return run_repro_cli(opts);
     if (opts.has("sweep")) return run_sweep_cli(opts);
     sweep::SweepPoint point;
     point.opts = opts;
