@@ -19,6 +19,8 @@
 #include "sched/dwrr.hpp"
 #include "sched/wfq.hpp"
 #include "sim/simulator.hpp"
+#include "switchlib/buffer_policy.hpp"
+#include "switchlib/buffer_pool.hpp"
 #include "telemetry/profiler.hpp"
 
 using namespace pmsb;
@@ -109,6 +111,52 @@ void timer_churn(sim::QueueBackend backend, std::int64_t batch) {
   if (g_profiler != nullptr) g_profiler->detach();
 }
 
+void buffer_admission_churn(const switchlib::BufferPolicyConfig& policy_cfg,
+                            std::int64_t ops) {
+  // The per-packet admission hot path a Port runs: policy->admit() against a
+  // live ledger, charge on accept, release on the simulated departure. Eight
+  // slots churn in round-robin with staggered packet sizes so occupancy (and
+  // with it every policy's threshold math) keeps moving; refusals count into
+  // g_sink so the decision branch can't be elided.
+  constexpr std::size_t kPorts = 8;
+  switchlib::BufferPool pool(96 * 1500);
+  std::vector<switchlib::BufferPool::SlotId> slots;
+  std::vector<std::uint64_t> port_bytes(kPorts, 0);
+  for (std::size_t p = 0; p < kPorts; ++p) slots.push_back(pool.register_slot());
+  const auto policy = switchlib::make_buffer_policy(policy_cfg);
+  std::uint64_t refused = 0;
+  // A sliding window of in-flight (slot, bytes) charges; departures lag
+  // arrivals by kPorts * 4 packets, keeping the pool part-full.
+  std::vector<std::pair<std::size_t, std::uint64_t>> in_flight;
+  std::size_t drain = 0;
+  for (std::int64_t i = 0; i < ops; ++i) {
+    const std::size_t p = static_cast<std::size_t>(i) % kPorts;
+    const std::uint64_t size = 64 + (static_cast<std::uint64_t>(i) * 577) % 1437;
+    const switchlib::AdmissionRequest req{.packet_bytes = size,
+                                          .port_bytes = port_bytes[p],
+                                          .port_budget = 32 * 1500,
+                                          .pool = &pool};
+    if (policy->admit(req)) {
+      ++refused;
+    } else {
+      pool.charge(slots[p], size);
+      port_bytes[p] += size;
+      in_flight.emplace_back(p, size);
+    }
+    while (in_flight.size() - drain > kPorts * 4) {
+      const auto [dp, dsize] = in_flight[drain++];
+      pool.release(slots[dp], dsize);
+      port_bytes[dp] -= dsize;
+    }
+    if (drain > 4096) {  // compact the FIFO's consumed prefix
+      in_flight.erase(in_flight.begin(),
+                      in_flight.begin() + static_cast<std::ptrdiff_t>(drain));
+      drain = 0;
+    }
+  }
+  g_sink = refused + pool.bytes();
+}
+
 sched::Packet make_pkt() {
   sched::Packet p;
   p.size_bytes = 1500;
@@ -179,6 +227,23 @@ int main() {
   report.benchmarks.push_back(
       time_bench("wfq_enqueue_dequeue", static_cast<std::uint64_t>(sched_ops),
                  [&] { scheduler_churn<sched::WfqScheduler>(sched_ops); }));
+  // Per-packet admission cost of each shared-buffer policy (admit + ledger
+  // charge/release), the new branch on the Port::handle hot path.
+  const struct {
+    const char* name;
+    switchlib::BufferPolicyConfig cfg;
+  } kPolicies[] = {
+      {"buffer_admit/static", {.kind = switchlib::BufferPolicyKind::kStaticPerPort}},
+      {"buffer_admit/equal",
+       {.kind = switchlib::BufferPolicyKind::kStaticEqualDivision}},
+      {"buffer_admit/dt",
+       {.kind = switchlib::BufferPolicyKind::kDynamicThresholds, .dt_alpha = 1.0}},
+  };
+  for (const auto& p : kPolicies) {
+    report.benchmarks.push_back(
+        time_bench(p.name, static_cast<std::uint64_t>(sched_ops),
+                   [&] { buffer_admission_churn(p.cfg, sched_ops); }));
+  }
 
   regress::maybe_write_bench_json(report);
   if (g_profiler != nullptr && telemetry::maybe_write_profile_json(*g_profiler)) {

@@ -25,12 +25,28 @@ DumbbellScenario::DumbbellScenario(const DumbbellConfig& config)
   plain.scheduler.num_queues = 1;
   plain.marking.kind = ecn::MarkingKind::kNone;
   plain.buffer_bytes = 4096ull * 1500ull;
+  plain.buffer_policy = cfg_.buffer_policy;
 
   // Bottleneck port: the scheduler + marking under study.
   switchlib::PortConfig bottleneck;
   bottleneck.scheduler = cfg_.scheduler;
   bottleneck.marking = cfg_.marking;
   bottleneck.buffer_bytes = cfg_.buffer_bytes;
+  bottleneck.buffer_policy = cfg_.buffer_policy;
+
+  // Shared buffer: requested explicitly, or implied by a pool-based policy
+  // (equal division / DT are meaningless without one). All switch ports
+  // join, so the reverse (ACK) paths feel the same buffer pressure.
+  const bool pooled_policy =
+      cfg_.buffer_policy.kind != switchlib::BufferPolicyKind::kStaticPerPort;
+  if (cfg_.shared_pool_bytes > 0 || pooled_policy) {
+    const std::size_t num_ports = cfg_.num_senders + 1;
+    const std::uint64_t pool_bytes =
+        cfg_.shared_pool_bytes > 0
+            ? cfg_.shared_pool_bytes
+            : cfg_.buffer_bytes * static_cast<std::uint64_t>(num_ports);
+    pool_ = std::make_unique<switchlib::BufferPool>(pool_bytes);
+  }
 
   const sim::RateBps uplink_rate =
       cfg_.sender_uplink_rate != 0 ? cfg_.sender_uplink_rate : cfg_.link_rate;
@@ -62,6 +78,12 @@ DumbbellScenario::DumbbellScenario(const DumbbellConfig& config)
   bottleneck_port_ = switch_->add_port(links_.back().get(), bottleneck);
   switch_->routing().add_route(static_cast<net::HostId>(cfg_.num_senders),
                                bottleneck_port_);
+
+  if (pool_) {
+    for (std::size_t p = 0; p < switch_->num_ports(); ++p) {
+      switch_->port(p).attach_pool(pool_.get());
+    }
+  }
 }
 
 DumbbellScenario::~DumbbellScenario() = default;
@@ -85,6 +107,7 @@ std::size_t DumbbellScenario::add_flow(const DumbbellFlowSpec& spec) {
 
 void DumbbellScenario::bind_metrics(telemetry::MetricsRegistry& registry) {
   switch_->port(bottleneck_port_).bind_metrics(registry, {{"port", "bottleneck"}});
+  if (pool_) pool_->bind_metrics(registry, {});
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     flows_[i]->sender().bind_metrics(registry, {{"flow", std::to_string(i)}});
   }
@@ -103,6 +126,14 @@ void DumbbellScenario::add_sampler_columns(telemetry::TimeSeriesSampler& sampler
   sampler.add_rate("bottleneck.mark_rate_pps", [&port]() -> std::uint64_t {
     return port.stats().marked_enqueue + port.stats().marked_dequeue;
   });
+  if (pool_) {
+    sampler.add_probe("buffer.free_pool_bytes", [pool = pool_.get()] {
+      return static_cast<double>(pool->free_bytes());
+    });
+    sampler.add_probe("bottleneck.admit_threshold_bytes", [&port] {
+      return static_cast<double>(port.admission_threshold_bytes());
+    });
+  }
 }
 
 void DumbbellScenario::install_digest(regress::RunDigest& digest) {

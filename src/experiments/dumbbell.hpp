@@ -43,6 +43,15 @@ struct DumbbellConfig {
   sched::SchedulerConfig scheduler;               ///< bottleneck port
   ecn::MarkingConfig marking;                     ///< bottleneck port
   std::uint64_t buffer_bytes = 1024ull * 1500ull; ///< bottleneck port buffer
+  /// Shared-buffer admission policy for every switch port (`buffer_policy=`
+  /// at the CLI). The default static policy with no pool is digest-identical
+  /// to the historical per-port drop-tail.
+  switchlib::BufferPolicyConfig buffer_policy;
+  /// Shared buffer pool across ALL switch ports, in bytes (`buffer_bytes=`
+  /// at the CLI). 0 with a static policy means no pool (historical
+  /// behavior); 0 with equal/dt defaults to buffer_bytes * num_ports so the
+  /// pool matches the static budgets it replaces.
+  std::uint64_t shared_pool_bytes = 0;
   transport::DctcpConfig transport;               ///< default per-flow config
   /// Event-queue backend for the kernel (`sched_queue=` at the CLI). Either
   /// choice produces bit-identical runs; calendar is faster at scale.
@@ -75,6 +84,8 @@ class DumbbellScenario {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] switchlib::Port& bottleneck() { return switch_->port(bottleneck_port_); }
   [[nodiscard]] switchlib::Switch& fabric() { return *switch_; }
+  /// The shared buffer pool, or nullptr when the run is pool-less.
+  [[nodiscard]] switchlib::BufferPool* pool() { return pool_.get(); }
   [[nodiscard]] transport::Flow& flow(std::size_t idx) { return *flows_.at(idx); }
   [[nodiscard]] std::size_t num_flows() const { return flows_.size(); }
   [[nodiscard]] net::Host& sender(std::size_t idx) { return *senders_.at(idx); }
@@ -150,6 +161,7 @@ class DumbbellScenario {
   std::vector<std::unique_ptr<net::Host>> senders_;
   std::unique_ptr<net::Host> receiver_;
   std::unique_ptr<switchlib::Switch> switch_;
+  std::unique_ptr<switchlib::BufferPool> pool_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::vector<faults::LinkRef> link_refs_;
   faults::ConservationLedger ledger_;

@@ -29,6 +29,7 @@ LeafSpineScenario::LeafSpineScenario(const LeafSpineConfig& config)
   port_cfg.scheduler = cfg_.scheduler;
   port_cfg.marking = cfg_.marking;
   port_cfg.buffer_bytes = cfg_.buffer_bytes;
+  port_cfg.buffer_policy = cfg_.buffer_policy;
 
   auto name_link = [this](const std::string& src, const std::string& dst) {
     link_refs_.push_back({src, dst, links_.back().get()});
@@ -74,6 +75,26 @@ LeafSpineScenario::LeafSpineScenario(const LeafSpineConfig& config)
       }
     }
   }
+
+  // Shared-buffer pools: one per switch (the shared-memory-chip model), so
+  // ports of the same chip compete for buffer while chips stay independent.
+  // Attach after all add_port calls so every port registers a ledger slot.
+  const bool pooled_policy =
+      cfg_.buffer_policy.kind != switchlib::BufferPolicyKind::kStaticPerPort;
+  if (cfg_.shared_pool_bytes > 0 || pooled_policy) {
+    auto pool_switch = [this](switchlib::Switch& sw) {
+      const std::uint64_t pool_bytes =
+          cfg_.shared_pool_bytes > 0
+              ? cfg_.shared_pool_bytes
+              : cfg_.buffer_bytes * static_cast<std::uint64_t>(sw.num_ports());
+      pools_.push_back(std::make_unique<switchlib::BufferPool>(pool_bytes));
+      for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+        sw.port(p).attach_pool(pools_.back().get());
+      }
+    };
+    for (auto& l : leaves_) pool_switch(*l);
+    for (auto& s : spines_) pool_switch(*s);
+  }
 }
 
 LeafSpineScenario::~LeafSpineScenario() = default;
@@ -110,6 +131,13 @@ void LeafSpineScenario::bind_metrics(telemetry::MetricsRegistry& registry) {
   };
   for (auto& l : leaves_) bind_switch(*l);
   for (auto& s : spines_) bind_switch(*s);
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    // pools_ is ordered leaves then spines, mirroring construction.
+    const std::string& name = i < leaves_.size()
+                                  ? leaves_[i]->name()
+                                  : spines_[i - leaves_.size()]->name();
+    pools_[i]->bind_metrics(registry, {{"switch", name}});
+  }
 
   // Fabric-wide transport aggregates, summed over flows at collect time so
   // the instrument count stays independent of workload size.
@@ -155,6 +183,15 @@ void LeafSpineScenario::add_sampler_columns(telemetry::TimeSeriesSampler& sample
   };
   for (auto& l : leaves_) add_switch(*l);
   for (auto& s : spines_) add_switch(*s);
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    const std::string& name = i < leaves_.size()
+                                  ? leaves_[i]->name()
+                                  : spines_[i - leaves_.size()]->name();
+    switchlib::BufferPool* pool = pools_[i].get();
+    sampler.add_probe(name + ".free_pool_bytes", [pool] {
+      return static_cast<double>(pool->free_bytes());
+    });
+  }
 }
 
 std::uint64_t LeafSpineScenario::total_marks() const {
@@ -167,6 +204,20 @@ std::uint64_t LeafSpineScenario::total_marks() const {
   for (const auto& l : leaves_) add(*l);
   for (const auto& s : spines_) add(*s);
   return marks;
+}
+
+std::array<std::uint64_t, switchlib::kNumDropReasons>
+LeafSpineScenario::total_drops_by_reason() const {
+  std::array<std::uint64_t, switchlib::kNumDropReasons> drops{};
+  auto add = [&drops](const switchlib::Switch& sw) {
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      const auto& by_reason = sw.port(p).stats().dropped_by_reason;
+      for (std::size_t r = 0; r < drops.size(); ++r) drops[r] += by_reason[r];
+    }
+  };
+  for (const auto& l : leaves_) add(*l);
+  for (const auto& s : spines_) add(*s);
+  return drops;
 }
 
 std::uint64_t LeafSpineScenario::total_drops() const {

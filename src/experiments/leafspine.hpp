@@ -6,6 +6,7 @@
 // with 8 service queues of equal weight.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -44,6 +45,14 @@ struct LeafSpineConfig {
   sched::SchedulerConfig scheduler;               ///< all switch ports
   ecn::MarkingConfig marking;                     ///< all switch ports
   std::uint64_t buffer_bytes = 1024ull * 1500ull; ///< per port
+  /// Shared-buffer admission policy for every switch port (`buffer_policy=`
+  /// at the CLI). Default static + no pool = historical per-port drop-tail.
+  switchlib::BufferPolicyConfig buffer_policy;
+  /// Per-SWITCH shared buffer pool in bytes (`buffer_bytes=` at the CLI):
+  /// each leaf and spine gets its own pool spanning all its ports, the
+  /// shared-memory-chip model. 0 with a static policy means no pools; 0
+  /// with equal/dt defaults to buffer_bytes * ports-of-that-switch.
+  std::uint64_t shared_pool_bytes = 0;
   transport::DctcpConfig transport;
   /// Event-queue backend for the kernel (`sched_queue=` at the CLI). Either
   /// choice produces bit-identical runs; calendar is faster at scale.
@@ -73,6 +82,11 @@ class LeafSpineScenario {
   [[nodiscard]] net::Host& host(std::size_t idx) { return *hosts_.at(idx); }
   [[nodiscard]] switchlib::Switch& leaf(std::size_t idx) { return *leaves_.at(idx); }
   [[nodiscard]] switchlib::Switch& spine(std::size_t idx) { return *spines_.at(idx); }
+  /// Per-switch shared pools (leaves then spines); empty when pool-less.
+  [[nodiscard]] const std::vector<std::unique_ptr<switchlib::BufferPool>>& pools()
+      const {
+    return pools_;
+  }
   [[nodiscard]] std::size_t completed_flows() const { return completed_; }
   [[nodiscard]] std::size_t total_flows() const { return flows_.size(); }
 
@@ -110,6 +124,10 @@ class LeafSpineScenario {
   [[nodiscard]] std::uint64_t total_marks() const;
   /// Aggregate drop count across every switch port.
   [[nodiscard]] std::uint64_t total_drops() const;
+  /// Aggregate drops across every switch port, split by admission refusal
+  /// reason (indexed by switchlib::DropReason).
+  [[nodiscard]] std::array<std::uint64_t, switchlib::kNumDropReasons>
+  total_drops_by_reason() const;
 
   // --- Regression plane ---
   /// Wires every switch port ("port/<switch>/<idx>") and every flow's
@@ -146,6 +164,7 @@ class LeafSpineScenario {
   std::vector<std::unique_ptr<net::Host>> hosts_;
   std::vector<std::unique_ptr<switchlib::Switch>> leaves_;
   std::vector<std::unique_ptr<switchlib::Switch>> spines_;
+  std::vector<std::unique_ptr<switchlib::BufferPool>> pools_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::vector<faults::LinkRef> link_refs_;
   faults::ConservationLedger ledger_;

@@ -21,8 +21,14 @@ MultiPortScenario::MultiPortScenario(const MultiPortConfig& config)
         "receiver" + std::to_string(r)));
   }
   switch_ = std::make_unique<switchlib::Switch>(sim_, "switch");
-  if (cfg_.shared_pool_bytes > 0) {
-    pool_ = std::make_unique<switchlib::BufferPool>(cfg_.shared_pool_bytes);
+  const bool pooled_policy =
+      cfg_.buffer_policy.kind != switchlib::BufferPolicyKind::kStaticPerPort;
+  if (cfg_.shared_pool_bytes > 0 || pooled_policy) {
+    const std::uint64_t pool_bytes =
+        cfg_.shared_pool_bytes > 0
+            ? cfg_.shared_pool_bytes
+            : cfg_.buffer_bytes * static_cast<std::uint64_t>(cfg_.num_receivers);
+    pool_ = std::make_unique<switchlib::BufferPool>(pool_bytes);
   }
 
   switchlib::PortConfig plain;
@@ -36,6 +42,7 @@ MultiPortScenario::MultiPortScenario(const MultiPortConfig& config)
   bottleneck.marking = cfg_.marking;
   bottleneck.buffer_bytes = cfg_.buffer_bytes;
   bottleneck.dt_alpha = cfg_.dt_alpha;
+  bottleneck.buffer_policy = cfg_.buffer_policy;
 
   auto name_link = [this](const std::string& src, const std::string& dst) {
     link_refs_.push_back({src, dst, links_.back().get()});

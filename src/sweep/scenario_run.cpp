@@ -316,6 +316,29 @@ struct Robustness {
   }
 };
 
+/// Parses the shared-buffer keys: `buffer_policy=` (static | equal | dt),
+/// `dt_alpha=` (DT allowance factor), `buffer_bytes=` (shared pool size in
+/// bytes; 0 = scenario default). Returns the policy config; the pool size
+/// lands in *pool_bytes.
+switchlib::BufferPolicyConfig parse_buffer_policy(const Options& opts,
+                                                  std::uint64_t* pool_bytes) {
+  switchlib::BufferPolicyConfig bp;
+  bp.kind = switchlib::parse_buffer_policy_kind(opts.get("buffer_policy", "static"));
+  bp.dt_alpha = opts.get_double("dt_alpha", 1.0);
+  *pool_bytes = static_cast<std::uint64_t>(opts.get_int("buffer_bytes", 0));
+  return bp;
+}
+
+/// Per-reason drop counters for one port into the record, prefixed
+/// `drops.<reason>` — the sweep report's view of WHY a policy refused.
+void record_drop_reasons(const switchlib::PortStats& stats, RunRecord& rec) {
+  for (std::size_t r = 0; r < switchlib::kNumDropReasons; ++r) {
+    rec.results[std::string("drops.") +
+                switchlib::drop_reason_name(static_cast<switchlib::DropReason>(r))] =
+        static_cast<double>(stats.dropped_by_reason[r]);
+  }
+}
+
 /// Folds the digest results into the record + manifest. Call after the
 /// scenario's finalize_digest(), before the results mirror loop.
 void report_digest(const regress::RunDigest* digest, RunRecord& rec,
@@ -338,6 +361,7 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
   if (cfg.scheduler.weights.empty()) cfg.scheduler.weights.assign(queues, 1.0);
   cfg.link_rate = sim::gbps(static_cast<std::uint64_t>(opts.get_int("link_gbps", 10)));
   cfg.link_delay = sim::microseconds_f(opts.get_double("link_delay_us", 2.0));
+  cfg.buffer_policy = parse_buffer_policy(opts, &cfg.shared_pool_bytes);
 
   auto flows_per_queue = opts.get_double_list("flows_per_queue");
   if (flows_per_queue.empty()) flows_per_queue.assign(queues, 1.0);
@@ -396,6 +420,8 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
   telemetry.manifest.set_info("topology", "dumbbell");
   telemetry.manifest.set_info("scheme", scheme_name(scheme));
   telemetry.manifest.set_info("scheduler", sc.bottleneck().scheduler().name());
+  telemetry.manifest.set_info(
+      "buffer_policy", switchlib::buffer_policy_kind_name(cfg.buffer_policy.kind));
 
   const auto duration = sim::milliseconds(opts.get_int("duration_ms", 50));
   sc.run(sim::milliseconds(10));
@@ -430,6 +456,13 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
   rec.results["rtt_us.p99"] = rtt.percentile(99);
   rec.results["marks"] = static_cast<double>(marks);
   rec.results["drops"] = static_cast<double>(drops);
+  record_drop_reasons(sc.bottleneck().stats(), rec);
+  if (sc.pool() != nullptr) {
+    rec.results["buffer.pool_limit_bytes"] =
+        static_cast<double>(sc.pool()->limit());
+    rec.results["buffer.free_pool_bytes_final"] =
+        static_cast<double>(sc.pool()->free_bytes());
+  }
   rec.results["sim.events_executed"] =
       static_cast<double>(sc.simulator().executed_events());
   robust.finalize(rec);
@@ -438,6 +471,8 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
   rec.info["topology"] = "dumbbell";
   rec.info["scheme"] = scheme_name(scheme);
   rec.info["scheduler"] = sc.bottleneck().scheduler().name();
+  rec.info["buffer_policy"] =
+      switchlib::buffer_policy_kind_name(cfg.buffer_policy.kind);
   telemetry.finalize_observability(rec);
   rec.sim_time_us = sim::to_microseconds(sc.simulator().now());
   // Mirror every record result into the manifest so a resumed sweep can
@@ -457,6 +492,7 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
   cfg.scheduler.num_queues = queues;
   cfg.scheduler.weights.assign(queues, 1.0);
   cfg.buffer_bytes = 2048ull * 1500ull;
+  cfg.buffer_policy = parse_buffer_policy(opts, &cfg.shared_pool_bytes);
 
   const Scheme scheme = parse_scheme(opts.get("scheme", "pmsb"));
   SchemeParams params;
@@ -509,6 +545,8 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
   telemetry.manifest.set_info("scheduler",
                               sched::scheduler_kind_name(cfg.scheduler.kind));
   telemetry.manifest.set_info("workload", opts.get("workload", "paper-mix"));
+  telemetry.manifest.set_info(
+      "buffer_policy", switchlib::buffer_policy_kind_name(cfg.buffer_policy.kind));
 
   const bool done = sc.run_until_complete(sim::seconds(opts.get_int("max_sim_s", 60)));
   if (!quiet) {
@@ -541,8 +579,18 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
   rec.info["scheduler"] = sched::scheduler_kind_name(cfg.scheduler.kind);
   rec.info["workload"] = opts.get("workload", "paper-mix");
   rec.info["all_flows_completed"] = done ? "true" : "false";
+  rec.info["buffer_policy"] =
+      switchlib::buffer_policy_kind_name(cfg.buffer_policy.kind);
   rec.results["flows_completed"] = static_cast<double>(sc.completed_flows());
   rec.results["flows_total"] = static_cast<double>(sc.total_flows());
+  rec.results["drops"] = static_cast<double>(sc.total_drops());
+  rec.results["marks"] = static_cast<double>(sc.total_marks());
+  const auto by_reason = sc.total_drops_by_reason();
+  for (std::size_t r = 0; r < by_reason.size(); ++r) {
+    rec.results[std::string("drops.") +
+                switchlib::drop_reason_name(static_cast<switchlib::DropReason>(r))] =
+        static_cast<double>(by_reason[r]);
+  }
   auto record_fct = [&](const std::string& bin, const stats::Summary& s) {
     rec.results["fct_us." + bin + ".mean"] = s.mean();
     rec.results["fct_us." + bin + ".p95"] = s.percentile(95);

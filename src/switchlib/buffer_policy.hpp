@@ -1,0 +1,99 @@
+// Pluggable shared-buffer admission policies (ROADMAP item 3).
+//
+// A Port asks its BufferPolicy whether an arriving packet may be buffered;
+// the policy answers with a DropReason (refuse) or nullopt (admit). The
+// policy only *decides* — the byte ledger itself lives in BufferPool and is
+// charged/released by the port, so a policy can never unbalance accounting.
+//
+// Three policies model the admission schemes of commodity shared-memory
+// switching chips:
+//
+//  - StaticPerPort      today's behavior and the default: drop-tail against
+//                       the port's own static budget, then the pool overflow
+//                       check. Digest-identical to the pre-policy code path.
+//  - StaticEqualDivision the pool split evenly: each member port may hold at
+//                       most limit / num_slots bytes (dpdk-switch's
+//                       qlen_threshold_equal_division).
+//  - DynamicThresholds  Choudhury & Hahne DT: a port's allowance is
+//                       alpha * (free pool bytes), so thresholds adapt as
+//                       the buffer fills (dpdk-switch's qlen_threshold_dt).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "switchlib/buffer_pool.hpp"
+
+namespace pmsb::switchlib {
+
+/// Why a packet was refused admission at a port.
+enum class DropReason : std::uint8_t {
+  kPortBudget = 0,        ///< drop-tail over the port's own buffer budget
+  kDynamicThreshold = 1,  ///< DT allowance shrank below the arrival
+  kPoolExhausted = 2,     ///< shared service pool had no room
+  kEqualShare = 3,        ///< over the port's equal-division pool share
+};
+
+inline constexpr std::size_t kNumDropReasons = 4;
+
+[[nodiscard]] inline const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kPortBudget: return "port_budget";
+    case DropReason::kDynamicThreshold: return "dynamic_threshold";
+    case DropReason::kPoolExhausted: return "pool_exhausted";
+    case DropReason::kEqualShare: return "equal_share";
+  }
+  return "?";
+}
+
+enum class BufferPolicyKind : std::uint8_t {
+  kStaticPerPort = 0,
+  kStaticEqualDivision = 1,
+  kDynamicThresholds = 2,
+};
+
+/// CLI name ("static" | "equal" | "dt") -> kind; throws std::invalid_argument.
+[[nodiscard]] BufferPolicyKind parse_buffer_policy_kind(const std::string& name);
+[[nodiscard]] const char* buffer_policy_kind_name(BufferPolicyKind kind);
+
+struct BufferPolicyConfig {
+  BufferPolicyKind kind = BufferPolicyKind::kStaticPerPort;
+  /// DT allowance factor: a port may buffer up to dt_alpha * (free pool
+  /// bytes). Only read by kDynamicThresholds.
+  double dt_alpha = 1.0;
+};
+
+/// Everything a policy may look at for one admission decision. `port_bytes`
+/// is the port occupancy BEFORE the arrival; the policy judges whether
+/// `port_bytes + packet_bytes` still fits its allowance.
+struct AdmissionRequest {
+  std::uint64_t packet_bytes = 0;
+  std::uint64_t port_bytes = 0;
+  std::uint64_t port_budget = 0;        ///< static per-port cap
+  const BufferPool* pool = nullptr;     ///< nullptr: no shared pool attached
+};
+
+class BufferPolicy {
+ public:
+  virtual ~BufferPolicy() = default;
+
+  [[nodiscard]] virtual BufferPolicyKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Admission decision: nullopt admits, a DropReason refuses. Pure — the
+  /// caller charges the pool ledger after a positive decision.
+  [[nodiscard]] virtual std::optional<DropReason> admit(
+      const AdmissionRequest& req) const = 0;
+
+  /// The most bytes the port could hold right now under this policy
+  /// (telemetry / tests; the admit() decision is the source of truth).
+  [[nodiscard]] virtual std::uint64_t threshold_bytes(
+      const AdmissionRequest& req) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<BufferPolicy> make_buffer_policy(
+    const BufferPolicyConfig& config);
+
+}  // namespace pmsb::switchlib

@@ -11,8 +11,15 @@ Port::Port(sim::Simulator& simulator, net::Link* link, const PortConfig& config)
       sched_(sched::make_scheduler(config.scheduler)),
       marking_(ecn::make_marking(config.marking)),
       mark_point_(ecn::effective_mark_point(config.marking)),
-      buffer_bytes_(config.buffer_bytes),
-      dt_alpha_(config.dt_alpha) {
+      buffer_bytes_(config.buffer_bytes) {
+  BufferPolicyConfig policy_cfg = config.buffer_policy;
+  if (config.dt_alpha > 0.0 &&
+      policy_cfg.kind == BufferPolicyKind::kStaticPerPort) {
+    // Legacy sugar: dt_alpha alone selects Dynamic Thresholds.
+    policy_cfg.kind = BufferPolicyKind::kDynamicThresholds;
+    policy_cfg.dt_alpha = config.dt_alpha;
+  }
+  policy_ = make_buffer_policy(policy_cfg);
   stats_.marked_per_queue.assign(sched_->num_queues(), 0);
   if (config.average_occupancy) {
     const sim::RateBps rate = link_->rate();
@@ -89,6 +96,10 @@ void Port::bind_metrics(telemetry::MetricsRegistry& registry,
   registry.gauge_fn(
       "port.occupancy_bytes", labels,
       [this] { return static_cast<double>(sched_->total_bytes()); }, "bytes");
+  registry.gauge_fn(
+      "buffer.admit_threshold_bytes", labels,
+      [this] { return static_cast<double>(admission_threshold_bytes()); },
+      "bytes");
   registry.gauge_fn(
       "port.occupancy_packets", labels,
       [this] { return static_cast<double>(sched_->total_packets()); }, "packets");
@@ -183,23 +194,11 @@ void Port::drop(const Packet& pkt, std::size_t queue, DropReason reason) {
 void Port::handle(Packet pkt) {
   telemetry::ProfileScope profile(profiler_, kind_handle_);
   const std::size_t q = classifier_(pkt);
-  if (sched_->total_bytes() + pkt.size_bytes > buffer_bytes_) {
-    drop(pkt, q, DropReason::kPortBudget);
+  if (const auto refusal = policy_->admit(admission_request(pkt.size_bytes))) {
+    drop(pkt, q, *refusal);
     return;
   }
-  if (pool_ != nullptr && dt_alpha_ > 0.0) {
-    // Dynamic Threshold: this port's allowance shrinks as the pool fills.
-    const double free_pool = static_cast<double>(pool_->limit() - pool_->bytes());
-    if (static_cast<double>(sched_->total_bytes() + pkt.size_bytes) >
-        dt_alpha_ * free_pool) {
-      drop(pkt, q, DropReason::kDynamicThreshold);
-      return;
-    }
-  }
-  if (pool_ != nullptr && !pool_->try_reserve(pkt.size_bytes)) {
-    drop(pkt, q, DropReason::kPoolExhausted);
-    return;
-  }
+  if (pool_ != nullptr) pool_->charge(pool_slot_, pkt.size_bytes);
   const bool was_empty = sched_->empty();
   marking_->on_port_activity(sim_.now(), was_empty);
 
@@ -258,7 +257,7 @@ void Port::try_transmit() {
     }
   }
   trace_event(trace::EventKind::kDequeue, pkt, out->queue);
-  if (pool_ != nullptr) pool_->release(pkt.size_bytes);
+  if (pool_ != nullptr) pool_->release(pool_slot_, pkt.size_bytes);
   transmitting_ = true;
   const TimeNs tx_done = link_->transmit(std::move(pkt));
   sim_.schedule_at(tx_done, [this] {

@@ -17,6 +17,7 @@
 #include "sched/factory.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "switchlib/buffer_policy.hpp"
 #include "switchlib/buffer_pool.hpp"
 #include "switchlib/occupancy.hpp"
 #include "telemetry/metrics.hpp"
@@ -38,30 +39,18 @@ struct PortConfig {
   /// instead of instantaneous ones (paper §IV.C supports either).
   bool average_occupancy = false;
   double ewma_weight = 0.002;  ///< RED w_q when average_occupancy is set
-  /// Dynamic Threshold buffer management (Choudhury & Hahne): with a shared
-  /// pool attached, a port may only buffer up to dt_alpha * (free pool
-  /// space). 0 disables DT (plain static budgets). This is the policy the
-  /// micro-burst works the paper cites ([13], [14]) build on.
+  /// Shared-buffer admission policy (static per-port budgets, equal
+  /// division, or Dynamic Thresholds — see buffer_policy.hpp). Drop
+  /// decisions route through this; the default is digest-identical to the
+  /// historical inline drop-tail.
+  BufferPolicyConfig buffer_policy;
+  /// Legacy Dynamic-Threshold knob (Choudhury & Hahne), kept as sugar: a
+  /// non-zero value selects buffer_policy.kind = kDynamicThresholds with
+  /// this alpha (unless buffer_policy already picked a non-static policy).
+  /// 0 leaves the configured buffer_policy in charge. This is the scheme
+  /// the micro-burst works the paper cites ([13], [14]) build on.
   double dt_alpha = 0.0;
 };
-
-/// Why a packet was refused admission at a port.
-enum class DropReason : std::uint8_t {
-  kPortBudget = 0,        ///< drop-tail over the port's own buffer budget
-  kDynamicThreshold = 1,  ///< DT allowance shrank below the arrival
-  kPoolExhausted = 2,     ///< shared service pool had no room
-};
-
-inline constexpr std::size_t kNumDropReasons = 3;
-
-[[nodiscard]] inline const char* drop_reason_name(DropReason reason) {
-  switch (reason) {
-    case DropReason::kPortBudget: return "port_budget";
-    case DropReason::kDynamicThreshold: return "dynamic_threshold";
-    case DropReason::kPoolExhausted: return "pool_exhausted";
-  }
-  return "?";
-}
 
 /// Per-port counters exposed for tests and benches. These cells double as
 /// the storage behind the registry instruments bind_metrics() registers, so
@@ -92,11 +81,19 @@ class Port {
 
   void set_classifier(Classifier classifier) { classifier_ = std::move(classifier); }
 
-  /// Joins a shared buffer pool: admission charges the pool, and marking
-  /// schemes see the pool occupancy in their snapshot. The pool must
-  /// outlive the port.
-  void attach_pool(BufferPool* pool) { pool_ = pool; }
+  /// Joins a shared buffer pool: the port takes a ledger slot, admission
+  /// charges it, and marking schemes see the pool occupancy in their
+  /// snapshot. The pool must outlive the port.
+  void attach_pool(BufferPool* pool) {
+    pool_ = pool;
+    if (pool_ != nullptr) pool_slot_ = pool_->register_slot();
+  }
   [[nodiscard]] BufferPool* pool() const { return pool_; }
+  [[nodiscard]] const BufferPolicy& buffer_policy() const { return *policy_; }
+  /// The most bytes this port could hold right now under its policy.
+  [[nodiscard]] std::uint64_t admission_threshold_bytes() const {
+    return policy_->threshold_bytes(admission_request(0));
+  }
 
   /// Attaches a structured event tracer (nullptr to detach). The tracer
   /// must outlive the port.
@@ -146,6 +143,12 @@ class Port {
  private:
   void try_transmit();
   void drop(const Packet& pkt, std::size_t queue, DropReason reason);
+  [[nodiscard]] AdmissionRequest admission_request(std::uint64_t packet_bytes) const {
+    return {.packet_bytes = packet_bytes,
+            .port_bytes = sched_->total_bytes(),
+            .port_budget = buffer_bytes_,
+            .pool = pool_};
+  }
   [[nodiscard]] ecn::PortSnapshot snapshot(std::size_t queue,
                                            std::uint64_t extra_port_bytes,
                                            std::uint64_t extra_queue_bytes,
@@ -157,9 +160,10 @@ class Port {
   std::unique_ptr<ecn::MarkingScheme> marking_;
   ecn::MarkPoint mark_point_;
   std::uint64_t buffer_bytes_;
-  double dt_alpha_;
+  std::unique_ptr<BufferPolicy> policy_;
   Classifier classifier_;
   BufferPool* pool_ = nullptr;
+  BufferPool::SlotId pool_slot_ = 0;
   trace::Tracer* tracer_ = nullptr;
   trace::SpanTracer* spans_ = nullptr;
   trace::NodeId span_node_ = trace::kNoNode;

@@ -1,7 +1,10 @@
 // Differential property tests: scheme implementations that are supposed to
 // coincide on sub-domains must actually coincide, checked over thousands of
-// random buffer states.
+// random buffer states — plus the PMSB x Dynamic-Thresholds interaction,
+// where the admission policy governs the very occupancy PMSB judges.
 #include <gtest/gtest.h>
+
+#include <cstdint>
 
 #include "core/pmsb_algorithm.hpp"
 #include "ecn/mq_ecn.hpp"
@@ -9,7 +12,9 @@
 #include "ecn/per_queue.hpp"
 #include "ecn/pmsb_marking.hpp"
 #include "ecn/red.hpp"
+#include "experiments/multiport.hpp"
 #include "sim/rng.hpp"
+#include "switchlib/buffer_policy.hpp"
 
 using namespace pmsb;
 using namespace pmsb::ecn;
@@ -114,4 +119,87 @@ TEST(Differential, PmsbIsMonotoneInPortLength) {
     EXPECT_TRUE(!prev || mark) << "non-monotone at " << p;
     prev = mark;
   }
+}
+
+// ---------------------------------------------------------------------------
+// PMSB under Dynamic Thresholds: the admission policy caps the occupancy
+// that PMSB's port threshold judges, so the two interact end to end.
+
+namespace {
+
+struct PmsbDtOutcome {
+  double mark_fraction = 0.0;       ///< enqueue marks / enqueued packets
+  std::uint64_t suppressed = 0;     ///< selective-blindness suppressions
+  std::uint64_t dt_drops = 0;       ///< admissions refused by DT
+};
+
+/// One 8-flows-into-one-port run with PMSB marking (K = 8 pkts) under a
+/// DT-governed shared buffer (64-pkt pool), at the given alpha. Seven flows
+/// load queue 0; one flow keeps queue 1 sparse so the per-queue filter has
+/// packets to spare (selective blindness).
+PmsbDtOutcome run_pmsb_under_dt(double alpha) {
+  experiments::MultiPortConfig cfg;
+  cfg.num_senders = 8;
+  cfg.num_receivers = 1;
+  cfg.scheduler.kind = sched::SchedulerKind::kDwrr;
+  cfg.scheduler.num_queues = 2;
+  cfg.scheduler.weights = {1.0, 1.0};
+  cfg.marking.kind = ecn::MarkingKind::kPmsb;
+  cfg.marking.threshold_bytes = 8 * 1500;
+  cfg.marking.weights = {1.0, 1.0};
+  cfg.buffer_bytes = 4096ull * 1500ull;  // static budget never binds
+  cfg.shared_pool_bytes = 64 * 1500;
+  cfg.buffer_policy = {.kind = switchlib::BufferPolicyKind::kDynamicThresholds,
+                       .dt_alpha = alpha};
+  experiments::MultiPortScenario sc(cfg);
+  for (std::size_t i = 0; i < 7; ++i) {
+    sc.add_flow({.sender = i, .receiver = 0, .service = 0, .bytes = 0, .start = 0});
+  }
+  sc.add_flow({.sender = 7, .receiver = 0, .service = 1, .bytes = 0, .start = 0});
+  sc.run(sim::milliseconds(50));
+
+  const switchlib::PortStats& stats = sc.receiver_port(0).stats();
+  auto& pmsb = dynamic_cast<PmsbMarking&>(sc.receiver_port(0).marking());
+  PmsbDtOutcome out;
+  if (stats.enqueued_packets > 0) {
+    out.mark_fraction = static_cast<double>(stats.marked_enqueue) /
+                        static_cast<double>(stats.enqueued_packets);
+  }
+  out.suppressed = pmsb.suppressed_by_blindness();
+  out.dt_drops = stats.dropped_by_reason[static_cast<std::size_t>(
+      switchlib::DropReason::kDynamicThreshold)];
+  return out;
+}
+
+}  // namespace
+
+TEST(PmsbUnderDt, MarksTrackTheDtGovernedOccupancy) {
+  // PMSB's port threshold judges an occupancy that DT now governs: the DT
+  // equilibrium cap is alpha/(1+alpha) * pool. Shrinking alpha pulls that
+  // cap down toward (and below) K, so the ECN signal fades and DT drops
+  // take over as the congestion response — marking tracks the cap, not the
+  // offered load. (Measured: alpha 0.14 pins the cap below K = 8 pkts of
+  // the 64-pkt pool and marking goes fully blind.)
+  const PmsbDtOutcome pinned = run_pmsb_under_dt(0.14);   // cap < K
+  const PmsbDtOutcome grazing = run_pmsb_under_dt(0.18);  // cap just over K
+  const PmsbDtOutcome tight = run_pmsb_under_dt(0.25);
+  const PmsbDtOutcome loose = run_pmsb_under_dt(1.0);     // DCTCP-governed
+  // Mark fraction falls monotonically as alpha shrinks...
+  EXPECT_GT(loose.mark_fraction, tight.mark_fraction);
+  EXPECT_GT(tight.mark_fraction, grazing.mark_fraction);
+  EXPECT_GT(grazing.mark_fraction, 0.0);
+  EXPECT_EQ(pinned.mark_fraction, 0.0);  // cap below K: PMSB fully blind
+  // ...while DT admission drops rise to replace the lost ECN signal.
+  EXPECT_GT(pinned.dt_drops, tight.dt_drops);
+  EXPECT_GT(tight.dt_drops, loose.dt_drops);
+  EXPECT_GT(loose.dt_drops, 0u);
+}
+
+TEST(PmsbUnderDt, SelectiveBlindnessStillFiresUnderSharedBufferPressure) {
+  // Even with DT actively refusing admissions (shared-buffer pressure), the
+  // per-queue filter must keep sparing the sparse queue's packets — the
+  // paper's selective blindness survives the buffer-management layer.
+  const PmsbDtOutcome tight = run_pmsb_under_dt(0.25);
+  EXPECT_GT(tight.dt_drops, 0u);
+  EXPECT_GT(tight.suppressed, 0u);
 }

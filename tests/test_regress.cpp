@@ -364,6 +364,56 @@ TEST(RegressEndToEnd, LeafspineDigestIsDeterministicToo) {
   EXPECT_GT(first.num_entities(), 2u);
 }
 
+TEST(RegressEndToEnd, StaticBufferPolicyIsDigestIdenticalAcrossTheMatrix) {
+  // The buffer-policy refactor's compatibility guarantee: routing admission
+  // through BufferPolicy with the explicit `buffer_policy=static` key is
+  // bit-identical to the pre-refactor inline drop-tail (the default path)
+  // on EVERY cell of the regression matrix — schemes, schedulers, mark
+  // points, bleach faults, and both topologies.
+  for (const auto& cell : default_matrix()) {
+    sweep::SweepPoint base;
+    base.opts = cell.opts;
+    RunDigest before;
+    const auto r1 = sweep::run_scenario(base, true, &before);
+    ASSERT_TRUE(r1.ok) << cell.name << ": " << r1.error;
+
+    sweep::SweepPoint pinned;
+    pinned.opts = cell.opts;
+    pinned.opts.set("buffer_policy", "static");
+    RunDigest after;
+    const auto r2 = sweep::run_scenario(pinned, true, &after);
+    ASSERT_TRUE(r2.ok) << cell.name << ": " << r2.error;
+
+    EXPECT_GT(before.count(), 0u) << cell.name;
+    EXPECT_EQ(before.count(), after.count()) << cell.name;
+    EXPECT_EQ(before.total().hex(), after.total().hex()) << cell.name;
+    EXPECT_EQ(before.sub_digest_hex(), after.sub_digest_hex()) << cell.name;
+  }
+}
+
+TEST(RegressEndToEnd, PooledPoliciesChangeBehaviorOnlyUnderPressure) {
+  // equal / dt with a generous pool admit everything the static path admits
+  // in a short run, but a tiny shared pool must actually bite: the digest
+  // diverges and the policy-specific drop reasons show up in the record.
+  sweep::SweepPoint roomy;
+  roomy.opts = small_dumbbell();
+  roomy.opts.set("buffer_policy", "dt");
+  roomy.opts.set("dt_alpha", "1");
+  RunDigest roomy_digest;
+  const auto r1 = sweep::run_scenario(roomy, true, &roomy_digest);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_EQ(r1.results.at("drops.dynamic_threshold"), 0.0);
+
+  sweep::SweepPoint tiny = roomy;
+  tiny.opts.set("buffer_bytes", std::to_string(16 * 1500));  // shared pool
+  RunDigest tiny_digest;
+  const auto r2 = sweep::run_scenario(tiny, true, &tiny_digest);
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_GT(r2.results.at("drops.dynamic_threshold"), 0.0);
+  EXPECT_NE(roomy_digest.total().hex(), tiny_digest.total().hex());
+  EXPECT_EQ(r2.info.at("buffer_policy"), "dt");
+}
+
 TEST(RegressEndToEnd, PerturbationIsDetectedAndLocalized) {
   // Record the clean run as a baseline cell.
   sweep::SweepPoint clean;

@@ -65,6 +65,13 @@ constexpr KeyHelp kKeys[] = {
     {"mark_point", "enqueue | dequeue (default enqueue)"},
     {"sched_queue", "event queue backend: heap | calendar (default heap)"},
     {"seed", "workload / fault RNG seed (default 1)"},
+    // Shared-buffer management (docs/DESIGN.md "Buffer management").
+    {"buffer_policy", "static | equal | dt: shared-buffer admission policy "
+                      "(default static = per-port drop-tail)"},
+    {"buffer_bytes", "shared pool size in bytes (0 = policy default: "
+                     "per-port budget x ports of the switch)"},
+    {"dt_alpha", "dt: allowance factor alpha in threshold = alpha * free "
+                 "pool (default 1.0)"},
     // Dumbbell-only.
     {"flows_per_queue", "dumbbell: comma list, e.g. 1,8"},
     {"duration_ms", "dumbbell: measured run length (default 50)"},
