@@ -1,0 +1,79 @@
+// Offline oscillation (limit-cycle) detection over sampled queue series.
+//
+// The D2TCP-II instability literature shows that marking schemes can settle
+// into sustained queue-length limit cycles that averaged FCT numbers hide
+// completely. This detector consumes the TimeSeriesSampler's occupancy /
+// backlog columns after a run and hunts for exactly that shape: a dominant
+// period with substantial peak-to-trough amplitude, sustained across
+// consecutive analysis windows.
+//
+// Method (deliberately FFT-free): over sliding windows, compute the
+// mean-centered autocorrelation r(L) for candidate lags and take the
+// strongest peak as the dominant period. A genuine cycle of period P also
+// shows the anti-phase dip r(P/2) < 0; a monotone ramp or a one-off burst
+// does not, which is what rejects transients and trends. A window counts as
+// oscillating only when the peak is strong, the dip is present, and the
+// peak-to-trough amplitude clears both an absolute floor and a fraction of
+// the window mean; a series counts only when enough consecutive windows
+// agree — DCTCP's benign sawtooth dies at the amplitude gates, a marking
+// limit cycle does not.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/sampler.hpp"
+
+namespace pmsb::analysis {
+
+struct OscillationConfig {
+  std::size_t window = 64;             ///< samples per analysis window
+  std::size_t hop = 32;                ///< window stride
+  std::size_t min_period_samples = 4;  ///< shortest lag considered
+  std::size_t max_period_samples = 0;  ///< 0 = window / 2
+  double min_autocorr = 0.5;           ///< required ACF peak strength
+  /// Peak-to-trough must exceed this multiple of the window mean: a real
+  /// limit cycle swings the queue through most of its operating point; the
+  /// benign DCTCP sawtooth rides a few packets around a full threshold.
+  double min_relative_amplitude = 1.0;
+  double min_amplitude = 18000.0;      ///< absolute floor (12 MTU in bytes)
+  std::size_t min_windows = 3;         ///< consecutive oscillating windows
+};
+
+/// Verdict for one sampled series (one port column).
+struct SeriesVerdict {
+  std::string name;
+  bool oscillating = false;
+  double dominant_period_us = 0.0;  ///< of the strongest oscillating window
+  double amplitude = 0.0;           ///< peak-to-trough, series units (bytes)
+  double max_autocorr = 0.0;        ///< strongest ACF peak seen anywhere
+  std::size_t windows_analyzed = 0;
+  std::size_t oscillating_windows = 0;  ///< longest consecutive run
+};
+
+/// Analyzes one series sampled at `sample_period_us` per point.
+[[nodiscard]] SeriesVerdict analyze_series(const std::string& name,
+                                           const std::vector<double>& values,
+                                           double sample_period_us,
+                                           const OscillationConfig& cfg = {});
+
+/// Aggregate view over every queue column of a run, as reported in
+/// `stability.*` result columns.
+struct StabilityReport {
+  std::vector<SeriesVerdict> series;
+  std::size_t ports_analyzed = 0;
+  std::size_t oscillating_ports = 0;
+  /// Of the oscillating port with the largest amplitude; 0 when none.
+  double dominant_period_us = 0.0;
+  double amplitude_bytes = 0.0;
+  /// Strongest ACF peak across all ports, oscillating or not.
+  double max_autocorr = 0.0;
+};
+
+/// Runs analyze_series() over every `*.occupancy_bytes` / `*.backlog_bytes`
+/// column of a finished sampler.
+[[nodiscard]] StabilityReport analyze_sampler(const telemetry::TimeSeriesSampler& sampler,
+                                              const OscillationConfig& cfg = {});
+
+}  // namespace pmsb::analysis

@@ -100,21 +100,69 @@ LeafSpineScenario::LeafSpineScenario(const LeafSpineConfig& config)
 LeafSpineScenario::~LeafSpineScenario() = default;
 
 void LeafSpineScenario::add_workload(const std::vector<workload::FlowSpec>& specs) {
-  for (const auto& spec : specs) {
+  workload::Workload wl;
+  wl.flows = specs;
+  add_workload(wl);
+}
+
+void LeafSpineScenario::add_workload(const workload::Workload& wl) {
+  if (!wl.groups.empty()) {
+    if (!flows_.empty() || tracker_ != nullptr) {
+      throw std::invalid_argument(
+          "leafspine: a grouped workload must be the only workload added");
+    }
+    tracker_ = std::make_unique<workload::GroupTracker>(wl);
+    tracked_flows_ = wl.flows.size();
+  }
+  const std::size_t base = flows_.size();
+  for (std::size_t k = 0; k < wl.flows.size(); ++k) {
+    const workload::FlowSpec& spec = wl.flows[k];
+    const std::size_t idx = base + k;
     auto flow = std::make_unique<transport::Flow>(
         sim_, *hosts_.at(spec.src), *hosts_.at(spec.dst), next_flow_id_++, spec.service,
         spec.bytes, cfg_.transport);
     transport::DctcpSender& sender = flow->sender();
-    sender.set_completion_callback(
-        [this, s = &sender, bytes = spec.bytes, service = spec.service](sim::TimeNs fct) {
-          fct_.record({s->flow_id(), bytes, s->start_time(), fct, service});
-          ++completed_;
-          if (completed_ == flows_.size()) sim_.stop();
-        });
-    flow->start(spec.start);
+    if (spec.deadline > 0) sender.set_deadline(spec.deadline);
+    sender.set_completion_callback([this, idx](sim::TimeNs fct) {
+      const transport::DctcpSender& s = flows_[idx]->sender();
+      const workload::FlowSpec& done = specs_[idx];
+      fct_.record({s.flow_id(), done.bytes, s.start_time(), fct, done.service,
+                   done.pattern, done.deadline,
+                   done.deadline == 0 || sim_.now() <= done.deadline, done.group,
+                   done.stage});
+      ++completed_;
+      if (tracker_ != nullptr && idx < tracked_flows_) {
+        for (const std::size_t released : tracker_->on_flow_complete(idx, sim_.now())) {
+          realized_start_[released] = sim_.now();
+          flows_[released]->start(sim_.now());
+        }
+      }
+      if (completed_ == flows_.size()) sim_.stop();
+    });
+    const bool deferred = tracker_ != nullptr && idx < tracked_flows_ &&
+                          tracker_->deferred(idx);
+    if (deferred) {
+      realized_start_.push_back(sim::kTimeNever);
+    } else {
+      flow->start(spec.start);
+      realized_start_.push_back(spec.start);
+    }
     flows_.push_back(std::move(flow));
     flow_src_idx_.push_back(spec.src);
+    specs_.push_back(spec);
   }
+}
+
+std::vector<workload::FlowSpec> LeafSpineScenario::realized_workload() const {
+  std::vector<workload::FlowSpec> out;
+  out.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (realized_start_.at(i) == sim::kTimeNever) continue;  // never released
+    workload::FlowSpec spec = specs_[i];
+    spec.start = realized_start_[i];
+    out.push_back(spec);
+  }
+  return out;
 }
 
 bool LeafSpineScenario::run_until_complete(sim::TimeNs max_time) {

@@ -29,6 +29,7 @@
 #include "telemetry/sampler.hpp"
 #include "trace/spans.hpp"
 #include "transport/dctcp.hpp"
+#include "workload/coflow.hpp"
 #include "workload/traffic_gen.hpp"
 
 namespace pmsb::experiments {
@@ -72,6 +73,25 @@ class LeafSpineScenario {
 
   /// Instantiates one DCTCP flow per spec; completions land in fct().
   void add_workload(const std::vector<workload::FlowSpec>& specs);
+
+  /// Workload-v2 entry point: like the vector overload, but when the
+  /// workload carries groups a GroupTracker enforces the coflow stage
+  /// barriers (stage > 0 flows are created up front with their start
+  /// deferred to the barrier crossing) and per-spec deadlines land on the
+  /// senders for the D2TCP path. A grouped workload must be the first and
+  /// only workload added.
+  void add_workload(const workload::Workload& wl);
+
+  /// Barrier bookkeeping for a grouped workload; nullptr for plain lists.
+  [[nodiscard]] const workload::GroupTracker* group_tracker() const {
+    return tracker_.get();
+  }
+
+  /// The workload as it actually ran: every started flow's spec with its
+  /// *realized* start time (barrier-released flows start at the barrier, not
+  /// their nominal group start). Flows still waiting behind an uncrossed
+  /// barrier are omitted. This is what `trace_export=` serializes.
+  [[nodiscard]] std::vector<workload::FlowSpec> realized_workload() const;
 
   /// Runs until every workload flow completes, or `max_time` if sooner.
   /// Returns true if all flows completed.
@@ -171,6 +191,12 @@ class LeafSpineScenario {
   faults::FaultPlan* plan_ = nullptr;
   std::vector<std::unique_ptr<transport::Flow>> flows_;
   std::vector<std::size_t> flow_src_idx_;  ///< flow idx -> source host idx
+  std::vector<workload::FlowSpec> specs_;  ///< flow idx -> originating spec
+  /// Flow idx -> time the flow actually started; kTimeNever = not started
+  /// yet (waiting behind a stage barrier).
+  std::vector<sim::TimeNs> realized_start_;
+  std::unique_ptr<workload::GroupTracker> tracker_;
+  std::size_t tracked_flows_ = 0;  ///< flows covered by tracker_'s indexing
   stats::FctCollector fct_;
   std::size_t completed_ = 0;
   net::FlowId next_flow_id_ = 1;

@@ -42,16 +42,24 @@ class CsvWriter {
   std::ofstream out_;
 };
 
-/// One row per completed flow: id, bytes, bin, start_us, fct_us, service.
+/// One row per completed flow. `pattern` names the workload family that
+/// produced the flow; `deadline_us`/`deadline_met` are empty for flows with
+/// no deadline, and `group`/`stage` are empty for flows outside any
+/// coflow/RPC group — so coflow and RPC results stay analyzable offline.
 inline void write_fct_csv(const std::string& path, const FctCollector& fct) {
   CsvWriter csv(path);
-  csv.row({"flow", "bytes", "bin", "start_us", "fct_us", "service"});
+  csv.row({"flow", "bytes", "bin", "start_us", "fct_us", "service", "pattern",
+           "deadline_us", "deadline_met", "group", "stage"});
   for (const auto& r : fct.records()) {
     csv.row({std::to_string(r.flow), std::to_string(r.bytes),
              size_bin_name(size_bin(r.bytes)),
              std::to_string(sim::to_microseconds(r.start)),
              std::to_string(sim::to_microseconds(r.fct)),
-             std::to_string(static_cast<int>(r.service))});
+             std::to_string(static_cast<int>(r.service)), pattern_tag_name(r.pattern),
+             r.deadline == 0 ? "" : std::to_string(sim::to_microseconds(r.deadline)),
+             r.deadline == 0 ? "" : (r.deadline_met ? "1" : "0"),
+             r.group == kNoGroupId ? "" : std::to_string(r.group),
+             r.group == kNoGroupId ? "" : std::to_string(r.stage)});
   }
 }
 

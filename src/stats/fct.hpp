@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,48 @@
 #include "stats/summary.hpp"
 
 namespace pmsb::stats {
+
+/// Which workload family produced a flow. Defined in the base stats layer so
+/// per-flow records can carry it without a stats -> workload dependency; the
+/// workload generators set it, the FCT CSV and sweep reports consume it.
+enum class PatternTag : std::uint8_t {
+  kPoisson,
+  kTrace,
+  kCoflow,
+  kRpc,
+  kPermutation,
+  kIncast,
+  kAllToAll,
+};
+
+[[nodiscard]] inline const char* pattern_tag_name(PatternTag tag) {
+  switch (tag) {
+    case PatternTag::kPoisson: return "poisson";
+    case PatternTag::kTrace: return "trace";
+    case PatternTag::kCoflow: return "coflow";
+    case PatternTag::kRpc: return "rpc";
+    case PatternTag::kPermutation: return "permutation";
+    case PatternTag::kIncast: return "incast";
+    case PatternTag::kAllToAll: return "all_to_all";
+  }
+  return "?";
+}
+
+/// Inverse of pattern_tag_name(); returns false on an unknown name.
+[[nodiscard]] inline bool parse_pattern_tag(const std::string& name, PatternTag* out) {
+  for (PatternTag tag :
+       {PatternTag::kPoisson, PatternTag::kTrace, PatternTag::kCoflow, PatternTag::kRpc,
+        PatternTag::kPermutation, PatternTag::kIncast, PatternTag::kAllToAll}) {
+    if (name == pattern_tag_name(tag)) {
+      *out = tag;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Sentinel group id for flows that belong to no coflow/RPC group.
+inline constexpr std::uint32_t kNoGroupId = 0xffffffffu;
 
 enum class SizeBin { kSmall, kMedium, kLarge };
 
@@ -42,6 +85,20 @@ struct FctRecord {
   sim::TimeNs start = 0;
   sim::TimeNs fct = 0;
   net::ServiceId service = 0;
+  PatternTag pattern = PatternTag::kPoisson;
+  sim::TimeNs deadline = 0;    ///< absolute completion deadline; 0 = none
+  bool deadline_met = true;    ///< only meaningful when deadline != 0
+  std::uint32_t group = kNoGroupId;  ///< coflow/RPC group; kNoGroupId = standalone
+  std::uint16_t stage = 0;     ///< coflow stage (barrier index)
+};
+
+/// Deadline outcome across the flows that carried one (deadline != 0).
+struct DeadlineStats {
+  std::size_t total = 0;
+  std::size_t missed = 0;
+  [[nodiscard]] double miss_fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(missed) / static_cast<double>(total);
+  }
 };
 
 class FctCollector {
@@ -64,6 +121,43 @@ class FctCollector {
   [[nodiscard]] Summary overall_fct_us() const {
     Summary s;
     for (const auto& r : records_) s.add(sim::to_microseconds(r.fct));
+    return s;
+  }
+
+  /// Deadline outcome over every completed flow that carried a deadline.
+  [[nodiscard]] DeadlineStats deadline_stats() const {
+    DeadlineStats ds;
+    for (const auto& r : records_) {
+      if (r.deadline == 0) continue;
+      ++ds.total;
+      if (!r.deadline_met) ++ds.missed;
+    }
+    return ds;
+  }
+
+  /// Coflow completion times (microseconds) over completed groups: for each
+  /// group id, the span from its earliest flow start to its latest flow
+  /// finish. Only groups whose every generated flow completed would be fully
+  /// meaningful; a truncated run reports the span over completed flows.
+  [[nodiscard]] Summary group_ct_us() const {
+    struct Span {
+      sim::TimeNs start;
+      sim::TimeNs end;
+    };
+    std::map<std::uint32_t, Span> spans;
+    for (const auto& r : records_) {
+      if (r.group == kNoGroupId) continue;
+      const sim::TimeNs end = r.start + r.fct;
+      auto [it, fresh] = spans.try_emplace(r.group, Span{r.start, end});
+      if (!fresh) {
+        it->second.start = std::min(it->second.start, r.start);
+        it->second.end = std::max(it->second.end, end);
+      }
+    }
+    Summary s;
+    for (const auto& [id, span] : spans) {
+      s.add(sim::to_microseconds(span.end - span.start));
+    }
     return s;
   }
 

@@ -29,6 +29,9 @@
 #include "telemetry/sampler.hpp"
 #include "trace/spans.hpp"
 #include "trace/tracer.hpp"
+#include "analysis/oscillation.hpp"
+#include "workload/coflow.hpp"
+#include "workload/flow_trace.hpp"
 #include "workload/size_dist.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -316,6 +319,50 @@ struct Robustness {
   }
 };
 
+/// Offline stability analysis (`stability=1`): oscillation detection over
+/// the run's sampled queue columns. Reuses the `timeseries_csv=` sampler
+/// when one exists; otherwise runs a private in-memory sampler at
+/// `sample_period_us` so the analysis needs no CSV side effect. Attach
+/// before the run, finalize after — results land in `stability.*` columns.
+struct StabilityPlane {
+  bool enabled = false;
+  telemetry::TimeSeriesSampler* sampler = nullptr;
+  std::unique_ptr<telemetry::TimeSeriesSampler> own;
+
+  template <typename Scenario>
+  void attach(Scenario& sc, RunTelemetry& telemetry, const Options& opts) {
+    enabled = opts.get_bool("stability", false);
+    if (!enabled) return;
+    if (telemetry.sampler != nullptr) {
+      sampler = telemetry.sampler.get();
+      return;
+    }
+    own = std::make_unique<telemetry::TimeSeriesSampler>(
+        sc.simulator(), sim::microseconds_f(opts.get_double("sample_period_us", 100.0)));
+    sc.add_sampler_columns(*own);
+    own->start();
+    sampler = own.get();
+  }
+
+  void finalize(const Options& opts, RunRecord& rec) const {
+    if (!enabled) return;
+    analysis::OscillationConfig cfg;
+    cfg.window = static_cast<std::size_t>(opts.get_int("stability_window", 64));
+    cfg.hop = std::max<std::size_t>(cfg.window / 2, 1);
+    cfg.min_autocorr = opts.get_double("stability_min_autocorr", 0.5);
+    cfg.min_amplitude = opts.get_double("stability_min_amp_bytes", 18000.0);
+    cfg.min_windows = static_cast<std::size_t>(opts.get_int("stability_min_windows", 3));
+    const analysis::StabilityReport report = analysis::analyze_sampler(*sampler, cfg);
+    rec.results["stability.ports_analyzed"] =
+        static_cast<double>(report.ports_analyzed);
+    rec.results["stability.oscillating_ports"] =
+        static_cast<double>(report.oscillating_ports);
+    rec.results["stability.dominant_period_us"] = report.dominant_period_us;
+    rec.results["stability.amplitude_bytes"] = report.amplitude_bytes;
+    rec.results["stability.max_autocorr"] = report.max_autocorr;
+  }
+};
+
 /// Parses the shared-buffer keys: `buffer_policy=` (static | equal | dt),
 /// `dt_alpha=` (DT allowance factor), `buffer_bytes=` (shared pool size in
 /// bytes; 0 = scenario default). Returns the policy config; the pool size
@@ -352,6 +399,12 @@ void report_digest(const regress::RunDigest* digest, RunRecord& rec,
 
 void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
                   RunRecord& rec) {
+  for (const char* key : {"trace_file", "trace_export", "pattern"}) {
+    if (opts.has(key)) {
+      throw std::invalid_argument(std::string(key) +
+                                  "= requires topology=leafspine");
+    }
+  }
   DumbbellConfig cfg;
   cfg.queue = sim::parse_queue_backend(opts.get("sched_queue", "heap"));
   const auto queues = static_cast<std::size_t>(opts.get_int("queues", 2));
@@ -382,6 +435,7 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
                      : ecn::MarkPoint::kEnqueue;
   cfg.marking = make_scheme_marking(scheme, params);
 
+  cfg.transport.d2tcp_enabled = opts.get_bool("d2tcp", false);
   DumbbellScenario sc(cfg);
   apply_scheme_transport(scheme, params, sc.base_rtt(), cfg.transport);
 
@@ -415,6 +469,8 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
 
   RunTelemetry telemetry(opts, quiet);
   telemetry.attach(sc);
+  StabilityPlane stability;
+  stability.attach(sc, telemetry, opts);
   if (!telemetry.metrics_path.empty()) robust.bind(telemetry.registry);
   telemetry.manifest.set_seed(static_cast<std::uint64_t>(opts.get_int("seed", 0)));
   telemetry.manifest.set_info("topology", "dumbbell");
@@ -465,6 +521,7 @@ void run_dumbbell(const Options& opts, bool quiet, regress::RunDigest* digest,
   }
   rec.results["sim.events_executed"] =
       static_cast<double>(sc.simulator().executed_events());
+  stability.finalize(opts, rec);
   robust.finalize(rec);
   sc.finalize_digest();
   report_digest(digest, rec, telemetry);
@@ -501,6 +558,7 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
   params.weights = cfg.scheduler.weights;
   cfg.marking = make_scheme_marking(scheme, params);
   cfg.transport.init_cwnd_segments = 16;
+  cfg.transport.d2tcp_enabled = opts.get_bool("d2tcp", false);
   const sim::TimeNs base_rtt =
       4 * sim::serialization_delay(sim::kDefaultMtuBytes, cfg.link_rate) +
       4 * sim::serialization_delay(net::kAckBytes, cfg.link_rate) +
@@ -517,7 +575,43 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
       workload::FlowSizeDistribution::by_name(opts.get("workload", "paper-mix"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   sim::Rng rng(seed);
-  sc.add_workload(workload::generate_poisson_traffic(tc, dist, rng));
+  const std::string pattern = opts.get("pattern", "poisson");
+  workload::Workload wl;
+  if (opts.has("trace_file")) {
+    // Replay mode: the trace IS the workload; generator keys are ignored.
+    workload::FlowTrace trace = workload::read_flow_trace(opts.get("trace_file"));
+    if (trace.num_hosts != sc.num_hosts()) {
+      throw std::invalid_argument(
+          "trace_file: trace has " + std::to_string(trace.num_hosts) +
+          " hosts but the fabric has " + std::to_string(sc.num_hosts()));
+    }
+    wl.flows = std::move(trace.flows);
+  } else if (pattern == "poisson") {
+    wl.flows = workload::generate_poisson_traffic(tc, dist, rng);
+  } else if (pattern == "coflow") {
+    workload::CoflowConfig cc;
+    cc.num_hosts = sc.num_hosts();
+    cc.num_coflows = static_cast<std::size_t>(opts.get_int("coflows", 20));
+    cc.num_mappers = static_cast<std::size_t>(opts.get_int("mappers", 4));
+    cc.num_reducers = static_cast<std::size_t>(opts.get_int("reducers", 4));
+    cc.num_stages = static_cast<std::uint16_t>(opts.get_int("stages", 1));
+    cc.mean_interarrival_us = opts.get_double("coflow_gap_us", 1000.0);
+    cc.num_services = static_cast<std::uint8_t>(queues);
+    wl = workload::generate_coflows(cc, dist, rng);
+  } else if (pattern == "rpc") {
+    workload::RpcConfig rc;
+    rc.num_hosts = sc.num_hosts();
+    rc.num_rpcs = static_cast<std::size_t>(opts.get_int("rpcs", 50));
+    rc.fanout = static_cast<std::size_t>(opts.get_int("fanout", 8));
+    rc.response_bytes = static_cast<std::uint64_t>(opts.get_int("rpc_bytes", 20'000));
+    rc.deadline = sim::microseconds_f(opts.get_double("rpc_deadline_us", 2000.0));
+    rc.mean_interarrival_us = opts.get_double("rpc_gap_us", 500.0);
+    rc.num_services = static_cast<std::uint8_t>(queues);
+    wl = workload::generate_rpc_fanout(rc, rng);
+  } else {
+    throw std::invalid_argument("unknown pattern '" + pattern + "'");
+  }
+  sc.add_workload(wl);
   if (digest != nullptr) sc.install_digest(*digest);
 
   // Default bleach location: every spine — the classic "broken middlebox in
@@ -538,9 +632,13 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
 
   RunTelemetry telemetry(opts, quiet);
   telemetry.attach(sc);
+  StabilityPlane stability;
+  stability.attach(sc, telemetry, opts);
   if (!telemetry.metrics_path.empty()) robust.bind(telemetry.registry);
   telemetry.manifest.set_seed(seed);
   telemetry.manifest.set_info("topology", "leafspine");
+  telemetry.manifest.set_info("pattern",
+                              opts.has("trace_file") ? "trace" : pattern);
   telemetry.manifest.set_info("scheme", scheme_name(scheme));
   telemetry.manifest.set_info("scheduler",
                               sched::scheduler_kind_name(cfg.scheduler.kind));
@@ -573,8 +671,17 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
     if (!quiet) std::printf("wrote %s\n", opts.get("fct_csv").c_str());
   }
 
+  if (opts.has("trace_export")) {
+    // Realized starts (post-barrier), so a replay is timing-faithful — and
+    // for static workloads, bit-identical by digest.
+    workload::write_flow_trace(opts.get("trace_export"), sc.num_hosts(),
+                               sc.realized_workload());
+    if (!quiet) std::printf("wrote %s\n", opts.get("trace_export").c_str());
+  }
+
   telemetry.manifest.set_info("all_flows_completed", done ? "true" : "false");
   rec.info["topology"] = "leafspine";
+  rec.info["pattern"] = opts.has("trace_file") ? "trace" : pattern;
   rec.info["scheme"] = scheme_name(scheme);
   rec.info["scheduler"] = sched::scheduler_kind_name(cfg.scheduler.kind);
   rec.info["workload"] = opts.get("workload", "paper-mix");
@@ -600,8 +707,31 @@ void run_leafspine(const Options& opts, bool quiet, regress::RunDigest* digest,
   record_fct("medium", sc.fct().fct_us(stats::SizeBin::kMedium));
   record_fct("large", sc.fct().fct_us(stats::SizeBin::kLarge));
   record_fct("overall", sc.fct().overall_fct_us());
+  // Grouped-workload results: coflow completion time as a first-class
+  // metric next to FCT, and the deadline outcome for the RPC/D2TCP path.
+  // Only emitted when the workload carries groups/deadlines so plain
+  // Poisson cells keep their historical column set.
+  const stats::Summary cct = sc.fct().group_ct_us();
+  if (cct.count() > 0) {
+    rec.results["coflow.cct_us.mean"] = cct.mean();
+    rec.results["coflow.cct_us.p95"] = cct.percentile(95);
+    rec.results["coflow.cct_us.p99"] = cct.percentile(99);
+  }
+  if (sc.group_tracker() != nullptr) {
+    rec.results["coflow.groups"] =
+        static_cast<double>(sc.group_tracker()->groups().size());
+    rec.results["coflow.groups_completed"] =
+        static_cast<double>(sc.group_tracker()->groups_completed());
+  }
+  const stats::DeadlineStats deadlines = sc.fct().deadline_stats();
+  if (deadlines.total > 0) {
+    rec.results["deadline.total"] = static_cast<double>(deadlines.total);
+    rec.results["deadline.misses"] = static_cast<double>(deadlines.missed);
+    rec.results["deadline.miss_fraction"] = deadlines.miss_fraction();
+  }
   rec.results["sim.events_executed"] =
       static_cast<double>(sc.simulator().executed_events());
+  stability.finalize(opts, rec);
   robust.finalize(rec);
   sc.finalize_digest();
   report_digest(digest, rec, telemetry);

@@ -167,6 +167,7 @@ void prepare_point(SweepPoint& point, const SweepConfig& config,
   point.opts.erase("profile_json");
   point.opts.erase("spans_ndjson");
   point.opts.erase("trace_ndjson");
+  point.opts.erase("trace_export");
 }
 
 /// Best-effort stub manifest for a failed cell: enough for a later resume

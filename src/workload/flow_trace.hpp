@@ -1,0 +1,46 @@
+// NDJSON flow traces — schema pmsb.flow_trace/1.
+//
+// A trace lets real or synthesized production workloads drive the fabric
+// (`trace_file=` at the CLI), and lets any run emit a replayable recording
+// of itself (`trace_export=`): the export writes each flow's *realized*
+// start time, so replaying a coflow run reproduces the barrier-released
+// timing as plain timed flows, and replaying a Poisson run is bit-identical
+// by digest.
+//
+// Format: line 1 is a header object
+//   {"flows":N,"hosts":H,"schema":"pmsb.flow_trace/1"}
+// followed by exactly N lines, one JSON object per flow:
+//   required  src, dst, size_bytes, start_time_ns
+//   optional  service, pattern, deadline_ns, group, stage
+// The reader is strict in the manifest-reader tradition: unknown keys,
+// wrong types, out-of-range hosts, src == dst, or a flow-count mismatch
+// all fail loudly with the offending line number.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/traffic_gen.hpp"
+
+namespace pmsb::workload {
+
+struct FlowTrace {
+  std::size_t num_hosts = 0;
+  std::vector<FlowSpec> flows;
+};
+
+inline constexpr const char* kFlowTraceSchema = "pmsb.flow_trace/1";
+
+/// Serializes one flow trace (header + one line per flow). Optional fields
+/// are omitted at their defaults (no deadline, no group). Throws
+/// std::runtime_error when the file cannot be written.
+void write_flow_trace(const std::string& path, std::size_t num_hosts,
+                      const std::vector<FlowSpec>& flows);
+
+/// Parses and validates a pmsb.flow_trace/1 file. Throws std::runtime_error
+/// (with the line number) on any schema violation. Flows with no `pattern`
+/// field are tagged stats::PatternTag::kTrace.
+[[nodiscard]] FlowTrace read_flow_trace(const std::string& path);
+
+}  // namespace pmsb::workload

@@ -27,6 +27,7 @@ std::vector<FlowSpec> permutation_pattern(std::size_t num_hosts, std::uint64_t b
     spec.service = static_cast<net::ServiceId>(src % num_services);
     spec.bytes = bytes;
     spec.start = start;
+    spec.pattern = stats::PatternTag::kPermutation;
     flows.push_back(spec);
   }
   return flows;
@@ -48,6 +49,7 @@ std::vector<FlowSpec> incast_pattern(std::size_t num_hosts, net::HostId aggregat
     spec.service = static_cast<net::ServiceId>(i % num_services);
     spec.bytes = bytes;
     spec.start = start;
+    spec.pattern = stats::PatternTag::kIncast;
     flows.push_back(spec);
     ++src;
   }
@@ -69,6 +71,7 @@ std::vector<FlowSpec> all_to_all_pattern(std::size_t num_hosts, std::uint64_t by
       spec.service = static_cast<net::ServiceId>(i++ % num_services);
       spec.bytes = bytes;
       spec.start = start + (jitter > 0 ? rng.uniform_int(0, jitter - 1) : 0);
+      spec.pattern = stats::PatternTag::kAllToAll;
       flows.push_back(spec);
     }
   }

@@ -15,6 +15,7 @@
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "sim/units.hpp"
+#include "stats/fct.hpp"
 #include "workload/size_dist.hpp"
 
 namespace pmsb::workload {
@@ -25,6 +26,15 @@ struct FlowSpec {
   net::ServiceId service = 0;
   std::uint64_t bytes = 0;
   sim::TimeNs start = 0;
+  /// Absolute completion deadline (D2TCP); 0 = none.
+  sim::TimeNs deadline = 0;
+  /// Which workload family produced this flow; lands in FCT records.
+  stats::PatternTag pattern = stats::PatternTag::kPoisson;
+  /// Coflow/RPC group id; stats::kNoGroupId = standalone flow.
+  std::uint32_t group = stats::kNoGroupId;
+  /// Coflow stage index. Stage > 0 flows start only once every stage-1
+  /// flow of their group has completed (the shuffle barrier).
+  std::uint16_t stage = 0;
 };
 
 struct TrafficConfig {
@@ -39,6 +49,11 @@ struct TrafficConfig {
 };
 
 /// Generates `cfg.num_flows` flow specs. Deterministic given `rng`'s seed.
+/// Arrival times, flow sizes, and endpoint choices draw from independent
+/// named sub-streams forked off `rng` ("poisson.arrival" / "poisson.size" /
+/// "poisson.endpoints"), so adding a draw to one dimension — or adding a new
+/// workload family sharing the seed — cannot perturb the others. `rng`
+/// itself is not advanced.
 std::vector<FlowSpec> generate_poisson_traffic(const TrafficConfig& cfg,
                                                const FlowSizeDistribution& dist,
                                                sim::Rng& rng);

@@ -1,0 +1,310 @@
+// Tests for the grouped workload generators (coflow shuffle, RPC fan-out)
+// and the GroupTracker barrier bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/units.hpp"
+#include "workload/coflow.hpp"
+#include "workload/size_dist.hpp"
+
+using namespace pmsb;
+using namespace pmsb::workload;
+
+namespace {
+
+CoflowConfig small_coflow_cfg() {
+  CoflowConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.num_coflows = 5;
+  cfg.num_mappers = 3;
+  cfg.num_reducers = 2;
+  cfg.num_stages = 2;
+  return cfg;
+}
+
+std::set<net::HostId> srcs_of_stage(const Workload& wl, std::uint32_t group,
+                                    std::uint16_t stage) {
+  std::set<net::HostId> out;
+  for (const FlowSpec& f : wl.flows) {
+    if (f.group == group && f.stage == stage) out.insert(f.src);
+  }
+  return out;
+}
+
+std::set<net::HostId> dsts_of_stage(const Workload& wl, std::uint32_t group,
+                                    std::uint16_t stage) {
+  std::set<net::HostId> out;
+  for (const FlowSpec& f : wl.flows) {
+    if (f.group == group && f.stage == stage) out.insert(f.dst);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(CoflowGen, ShapeMatchesConfig) {
+  const CoflowConfig cfg = small_coflow_cfg();
+  auto d = FlowSizeDistribution::fixed(100'000);
+  sim::Rng rng(1);
+  const Workload wl = generate_coflows(cfg, d, rng);
+
+  ASSERT_EQ(wl.groups.size(), cfg.num_coflows);
+  // Stage 0 is M x R; each later stage's mappers are the previous stage's
+  // R reducers, so it contributes R x R flows.
+  const std::size_t per_coflow =
+      cfg.num_mappers * cfg.num_reducers +
+      (cfg.num_stages - 1) * cfg.num_reducers * cfg.num_reducers;
+  EXPECT_EQ(wl.flows.size(), cfg.num_coflows * per_coflow);
+
+  sim::TimeNs prev = 0;
+  for (std::size_t c = 0; c < wl.groups.size(); ++c) {
+    const GroupInfo& g = wl.groups[c];
+    EXPECT_EQ(g.id, c);
+    EXPECT_EQ(g.pattern, stats::PatternTag::kCoflow);
+    EXPECT_EQ(g.num_stages, cfg.num_stages);
+    EXPECT_GE(g.start, prev);  // Poisson arrivals are monotone
+    prev = g.start;
+  }
+  for (const FlowSpec& f : wl.flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_LT(f.src, cfg.num_hosts);
+    EXPECT_LT(f.dst, cfg.num_hosts);
+    EXPECT_EQ(f.pattern, stats::PatternTag::kCoflow);
+    ASSERT_LT(f.group, wl.groups.size());
+    EXPECT_EQ(f.start, wl.groups[f.group].start);
+    EXPECT_EQ(f.bytes, 100'000u);
+  }
+}
+
+TEST(CoflowGen, StagesChainReducersIntoMappers) {
+  const CoflowConfig cfg = small_coflow_cfg();
+  auto d = FlowSizeDistribution::fixed(50'000);
+  sim::Rng rng(2);
+  const Workload wl = generate_coflows(cfg, d, rng);
+  for (const GroupInfo& g : wl.groups) {
+    // Each stage is a full M x R bipartite transfer...
+    EXPECT_EQ(srcs_of_stage(wl, g.id, 0).size(), cfg.num_mappers);
+    EXPECT_EQ(dsts_of_stage(wl, g.id, 0).size(), cfg.num_reducers);
+    // ...and stage 1's mappers are exactly stage 0's reducers.
+    EXPECT_EQ(srcs_of_stage(wl, g.id, 1), dsts_of_stage(wl, g.id, 0));
+  }
+}
+
+TEST(CoflowGen, DeterministicGivenSeed) {
+  const CoflowConfig cfg = small_coflow_cfg();
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng r1(42), r2(42), r3(43);
+  const Workload a = generate_coflows(cfg, d, r1);
+  const Workload b = generate_coflows(cfg, d, r2);
+  const Workload c = generate_coflows(cfg, d, r3);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].src, b.flows[i].src);
+    EXPECT_EQ(a.flows[i].dst, b.flows[i].dst);
+    EXPECT_EQ(a.flows[i].bytes, b.flows[i].bytes);
+    EXPECT_EQ(a.flows[i].start, b.flows[i].start);
+    any_diff = any_diff || a.flows[i].src != c.flows[i].src ||
+               a.flows[i].start != c.flows[i].start;
+  }
+  EXPECT_TRUE(any_diff);  // a different seed produces a different shuffle
+}
+
+TEST(CoflowGen, CallerRngNotAdvanced) {
+  const CoflowConfig cfg = small_coflow_cfg();
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(7);
+  (void)generate_coflows(cfg, d, rng);
+  EXPECT_DOUBLE_EQ(rng.uniform(), sim::Rng(7).uniform());
+}
+
+TEST(CoflowGen, RejectsImpossibleShapes) {
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(1);
+  CoflowConfig cfg = small_coflow_cfg();
+  cfg.num_mappers = 0;
+  EXPECT_THROW(generate_coflows(cfg, d, rng), std::invalid_argument);
+  cfg = small_coflow_cfg();
+  cfg.num_stages = 0;
+  EXPECT_THROW(generate_coflows(cfg, d, rng), std::invalid_argument);
+  cfg = small_coflow_cfg();
+  cfg.num_mappers = 10;
+  cfg.num_reducers = 7;  // 10 + 7 > 16 hosts
+  EXPECT_THROW(generate_coflows(cfg, d, rng), std::invalid_argument);
+}
+
+TEST(RpcGen, FanOutShapeAndDeadlines) {
+  RpcConfig cfg;
+  cfg.num_hosts = 12;
+  cfg.num_rpcs = 20;
+  cfg.fanout = 5;
+  cfg.response_bytes = 33'000;
+  cfg.deadline = sim::microseconds(700);
+  sim::Rng rng(3);
+  const Workload wl = generate_rpc_fanout(cfg, rng);
+
+  ASSERT_EQ(wl.groups.size(), cfg.num_rpcs);
+  EXPECT_EQ(wl.flows.size(), cfg.num_rpcs * cfg.fanout);
+  for (const GroupInfo& g : wl.groups) {
+    EXPECT_EQ(g.pattern, stats::PatternTag::kRpc);
+    EXPECT_EQ(g.num_stages, 1);
+    EXPECT_EQ(g.deadline, g.start + cfg.deadline);
+
+    // All shards converge on one initiator from distinct responders.
+    const auto dsts = dsts_of_stage(wl, g.id, 0);
+    ASSERT_EQ(dsts.size(), 1u);
+    const auto srcs = srcs_of_stage(wl, g.id, 0);
+    EXPECT_EQ(srcs.size(), cfg.fanout);
+    EXPECT_EQ(srcs.count(*dsts.begin()), 0u);
+  }
+  for (const FlowSpec& f : wl.flows) {
+    EXPECT_EQ(f.bytes, cfg.response_bytes);
+    EXPECT_EQ(f.stage, 0);
+    EXPECT_EQ(f.deadline, wl.groups[f.group].deadline);
+  }
+}
+
+TEST(RpcGen, ZeroDeadlineDisables) {
+  RpcConfig cfg;
+  cfg.num_hosts = 12;
+  cfg.num_rpcs = 5;
+  cfg.fanout = 3;
+  cfg.deadline = 0;
+  sim::Rng rng(4);
+  const Workload wl = generate_rpc_fanout(cfg, rng);
+  for (const GroupInfo& g : wl.groups) EXPECT_EQ(g.deadline, 0);
+  for (const FlowSpec& f : wl.flows) EXPECT_EQ(f.deadline, 0);
+}
+
+TEST(RpcGen, RejectsFanoutBeyondHosts) {
+  RpcConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.fanout = 8;  // + initiator = 9 > 8 hosts
+  sim::Rng rng(1);
+  EXPECT_THROW(generate_rpc_fanout(cfg, rng), std::invalid_argument);
+  cfg.fanout = 0;
+  EXPECT_THROW(generate_rpc_fanout(cfg, rng), std::invalid_argument);
+}
+
+// --- GroupTracker barrier bookkeeping -----------------------------------
+
+namespace {
+
+/// Two-stage group 0 (flows 0,1 -> barrier -> flow 2), one-stage group 1
+/// (flow 3), and one ungrouped flow (4).
+Workload tracker_workload() {
+  Workload wl;
+  GroupInfo g0;
+  g0.id = 0;
+  g0.start = 100;
+  g0.deadline = 10'000;
+  g0.num_stages = 2;
+  wl.groups.push_back(g0);
+  GroupInfo g1;
+  g1.id = 1;
+  g1.start = 200;
+  g1.num_stages = 1;
+  wl.groups.push_back(g1);
+
+  auto add = [&wl](std::uint32_t group, std::uint16_t stage) {
+    FlowSpec f;
+    f.src = 0;
+    f.dst = 1;
+    f.bytes = 1000;
+    f.group = group;
+    f.stage = stage;
+    wl.flows.push_back(f);
+  };
+  add(0, 0);  // flow 0
+  add(0, 0);  // flow 1
+  add(0, 1);  // flow 2 (behind the barrier)
+  add(1, 0);  // flow 3
+  FlowSpec plain;
+  plain.src = 2;
+  plain.dst = 3;
+  plain.bytes = 1000;
+  wl.flows.push_back(plain);  // flow 4, ungrouped
+  return wl;
+}
+
+}  // namespace
+
+TEST(GroupTracker, BarrierReleasesNextStage) {
+  const Workload wl = tracker_workload();
+  GroupTracker tracker(wl);
+
+  EXPECT_FALSE(tracker.deferred(0));
+  EXPECT_FALSE(tracker.deferred(1));
+  EXPECT_TRUE(tracker.deferred(2));  // stage 1 waits for the barrier
+  EXPECT_FALSE(tracker.deferred(3));
+  EXPECT_FALSE(tracker.deferred(4));
+
+  EXPECT_TRUE(tracker.on_flow_complete(0, 500).empty());
+  const auto released = tracker.on_flow_complete(1, 600);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 2u);
+  EXPECT_EQ(tracker.groups_completed(), 0u);
+
+  EXPECT_TRUE(tracker.on_flow_complete(2, 900).empty());
+  EXPECT_EQ(tracker.groups_completed(), 1u);
+  const GroupTracker::GroupResult& r0 = tracker.groups()[0];
+  EXPECT_TRUE(r0.complete);
+  EXPECT_EQ(r0.completion, 900);
+  EXPECT_EQ(r0.ct(), 800);
+  EXPECT_TRUE(r0.deadline_met());  // 900 <= 10000
+}
+
+TEST(GroupTracker, DeadlineMissAndUngroupedFlows) {
+  const Workload wl = tracker_workload();
+  GroupTracker tracker(wl);
+
+  // Ungrouped completions are no-ops.
+  EXPECT_TRUE(tracker.on_flow_complete(4, 50).empty());
+  EXPECT_EQ(tracker.groups_completed(), 0u);
+
+  tracker.on_flow_complete(0, 500);
+  tracker.on_flow_complete(1, 600);
+  tracker.on_flow_complete(2, 20'000);  // past group 0's deadline of 10000
+  EXPECT_FALSE(tracker.groups()[0].deadline_met());
+
+  tracker.on_flow_complete(3, 700);
+  EXPECT_EQ(tracker.groups_completed(), 2u);
+  EXPECT_TRUE(tracker.groups()[1].deadline_met());  // no deadline set
+}
+
+TEST(GroupTracker, IncompleteGroupMissesItsDeadline) {
+  const Workload wl = tracker_workload();
+  GroupTracker tracker(wl);
+  tracker.on_flow_complete(0, 500);
+  // Group 0 never finishes: with a deadline set, that counts as a miss.
+  EXPECT_FALSE(tracker.groups()[0].deadline_met());
+  EXPECT_TRUE(tracker.groups()[1].deadline_met());
+}
+
+TEST(GroupTracker, RejectsMalformedWorkloads) {
+  {
+    Workload wl = tracker_workload();
+    wl.groups.push_back(wl.groups[0]);  // duplicate id 0
+    EXPECT_THROW(GroupTracker{wl}, std::invalid_argument);
+  }
+  {
+    Workload wl = tracker_workload();
+    wl.flows[0].group = 99;  // unknown group
+    EXPECT_THROW(GroupTracker{wl}, std::invalid_argument);
+  }
+  {
+    Workload wl = tracker_workload();
+    wl.flows[0].stage = 7;  // beyond group 0's two stages
+    EXPECT_THROW(GroupTracker{wl}, std::invalid_argument);
+  }
+  {
+    const Workload wl = tracker_workload();
+    GroupTracker tracker(wl);
+    tracker.on_flow_complete(3, 100);
+    EXPECT_THROW(tracker.on_flow_complete(3, 200), std::logic_error);
+  }
+}

@@ -240,6 +240,86 @@ TEST(TrafficGen, HigherLoadPacksArrivalsTighter) {
   EXPECT_GT(flows_lo.back().start, flows_hi.back().start * 3);
 }
 
+// --- named RNG sub-streams (workload plane v2) --------------------------
+
+namespace {
+
+/// Order-sensitive FNV-1a over every generated field: any change to any
+/// sub-stream's sequence shows up here.
+std::uint64_t spec_stream_hash(const std::vector<FlowSpec>& flows) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  for (const auto& f : flows) {
+    mix(f.src);
+    mix(f.dst);
+    mix(f.service);
+    mix(f.bytes);
+    mix(static_cast<std::uint64_t>(f.start));
+  }
+  return h;
+}
+
+}  // namespace
+
+TEST(TrafficGenStreams, DigestIdentityPin) {
+  // Golden pin for the "poisson.arrival" / "poisson.size" /
+  // "poisson.endpoints" sub-stream split in traffic_gen.cpp: renaming or
+  // reordering the forks changes every regression baseline, so it must
+  // never happen silently. If this fails on purpose, refresh the pinned
+  // value AND the recorded digest baselines together.
+  TrafficConfig cfg;
+  cfg.num_flows = 200;
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(42);
+  const auto flows = generate_poisson_traffic(cfg, d, rng);
+  EXPECT_EQ(spec_stream_hash(flows), 0x87400cc022424fe3ull);
+}
+
+TEST(TrafficGenStreams, CallerRngIsNotAdvanced) {
+  TrafficConfig cfg;
+  cfg.num_flows = 100;
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng rng(21);
+  (void)generate_poisson_traffic(cfg, d, rng);
+  // fork() derives from the seed without drawing, so the caller's stream
+  // is untouched — a second workload family can share the same Rng.
+  EXPECT_DOUBLE_EQ(rng.uniform(), sim::Rng(21).uniform());
+}
+
+TEST(TrafficGenStreams, EndpointDrawsDoNotPerturbArrivalsOrSizes) {
+  // rack_local_allowed=false makes the endpoint rejection loop draw MORE
+  // values; with a shared stream that used to shift every later size and
+  // arrival. With named sub-streams only (src, dst) may change.
+  TrafficConfig any;
+  any.num_flows = 400;
+  TrafficConfig inter_rack = any;
+  inter_rack.rack_local_allowed = false;
+  auto d = FlowSizeDistribution::paper_mix();
+  sim::Rng r1(17), r2(17);
+  const auto a = generate_poisson_traffic(any, d, r1);
+  const auto b = generate_poisson_traffic(inter_rack, d, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start) << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << i;
+  }
+}
+
+TEST(TrafficGenStreams, SizeDistributionDoesNotPerturbEndpoints) {
+  // Swapping the size distribution changes sizes (and the arrival rate's
+  // scale) but must leave the endpoint sequence alone.
+  TrafficConfig cfg;
+  cfg.num_flows = 400;
+  sim::Rng r1(23), r2(23);
+  const auto a = generate_poisson_traffic(cfg, FlowSizeDistribution::paper_mix(), r1);
+  const auto b = generate_poisson_traffic(cfg, FlowSizeDistribution::web_search(), r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src) << i;
+    EXPECT_EQ(a[i].dst, b[i].dst) << i;
+  }
+}
+
 TEST(TrafficGen, DeterministicGivenSeed) {
   auto d = FlowSizeDistribution::paper_mix();
   TrafficConfig cfg;

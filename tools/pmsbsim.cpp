@@ -83,11 +83,40 @@ constexpr KeyHelp kKeys[] = {
     {"workload", "leafspine: paper-mix | web-search | data-mining"},
     {"max_sim_s", "leafspine: simulated-time cap (default 60)"},
     {"fct_csv", "leafspine: path for per-flow FCT records"},
+    // Workload plane v2 (leafspine; docs/DESIGN.md "Workload plane").
+    {"pattern", "leafspine workload family: poisson | coflow | rpc "
+                "(default poisson)"},
+    {"trace_file", "leafspine: replay a pmsb.flow_trace/1 NDJSON trace "
+                   "(overrides pattern/load/flows/workload)"},
+    {"trace_export", "leafspine: write the run's realized workload as a "
+                     "replayable pmsb.flow_trace/1 trace"},
+    {"coflows", "coflow: number of coflows (default 20)"},
+    {"mappers", "coflow: mappers per stage (default 4)"},
+    {"reducers", "coflow: reducers per stage (default 4)"},
+    {"stages", "coflow: shuffle stages with barriers between (default 1)"},
+    {"coflow_gap_us", "coflow: mean Poisson inter-arrival (default 1000)"},
+    {"rpcs", "rpc: number of fan-out RPCs (default 50)"},
+    {"fanout", "rpc: responders per RPC (default 8)"},
+    {"rpc_bytes", "rpc: response shard size in bytes (default 20000)"},
+    {"rpc_deadline_us", "rpc: completion deadline after RPC start; 0 "
+                        "disables (default 2000)"},
+    {"rpc_gap_us", "rpc: mean Poisson inter-arrival (default 500)"},
+    {"d2tcp", "1: deadline-aware D2TCP window cuts on flows that carry "
+              "deadlines (default 0)"},
     // Telemetry.
     {"metrics_json", "path: write a pmsb.run_manifest/1 JSON"},
     {"timeseries_csv", "path: stream per-port occupancy / mark-rate CSV"},
     {"sample_period_us", "timeseries sampling period (default 100)"},
     {"digest", "1: report the run's 128-bit event digest"},
+    // Stability analysis (docs/DESIGN.md "Stability analysis").
+    {"stability", "1: post-run oscillation detection over sampled queue "
+                  "columns; emits stability.* results"},
+    {"stability_window", "analysis window in samples (default 64)"},
+    {"stability_min_autocorr", "required ACF peak strength (default 0.5)"},
+    {"stability_min_amp_bytes", "peak-to-trough amplitude floor "
+                                "(default 18000 = 12 MTU)"},
+    {"stability_min_windows", "consecutive oscillating windows required "
+                              "(default 3)"},
     // Observability (docs/OBSERVABILITY.md).
     {"profile", "1: per-event-kind kernel + component profiler; the "
                 "pmsb.profile/1 JSON lands in the run manifest"},
